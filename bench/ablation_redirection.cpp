@@ -1,0 +1,47 @@
+// Ablation (extension): server-side request redirection — the
+// "second-level dispatching" mechanism of the authors' follow-up work.
+//
+// The DNS controls <1% of requests and cannot see queues; a server that
+// *is* overloaded can simply pass arriving requests to the least-loaded
+// peer (one hop, never twice). Question: how much of the adaptive-TTL gap
+// does this second level close, and what does it cost in redirect traffic?
+//
+// Expected: redirection slashes *response times* for the bad first-level
+// policies (it caps the hot queues) at the price of redirecting a sizable
+// request fraction — but it does NOT fix their max-utilization figure: the
+// workload is closed-loop, so rescuing the clients RR trapped behind a hot
+// queue lets them generate more load and every server runs hotter. Under
+// DRR2-TTL/S_K there is almost nothing left to redirect, and the small
+// second level is a pure win — good first-level scheduling composes with,
+// rather than competes against, the second level.
+#include "bench_common.h"
+
+using namespace adattl;
+
+int main() {
+  const int reps = experiment::default_replications();
+  bench::print_run_banner("Ablation: server-side redirection",
+                          "heterogeneity 50%, redirect when queue wait > 2 s");
+
+  experiment::TableReport table({"policy", "P(maxU<0.98)", "P(maxU<0.98) redir",
+                                 "mean resp (s)", "mean resp (s) redir", "redirected %"});
+
+  for (const char* policy : {"RR", "RR2", "PRR-TTL/1", "PRR2-TTL/K", "DRR2-TTL/S_K"}) {
+    experiment::SimulationConfig cfg = bench::paper_config(50);
+    cfg.policy = policy;
+    const experiment::ReplicatedResult plain = experiment::run_replications(cfg, reps);
+    cfg.redirect_enabled = true;
+    const experiment::ReplicatedResult redir = experiment::run_replications(cfg, reps);
+    table.add_row(
+        {policy, experiment::TableReport::fmt(plain.prob_below(0.98).mean),
+         experiment::TableReport::fmt(redir.prob_below(0.98).mean),
+         experiment::TableReport::fmt(
+             plain.ci([](const auto& r) { return r.mean_page_response_sec; }).mean, 3),
+         experiment::TableReport::fmt(
+             redir.ci([](const auto& r) { return r.mean_page_response_sec; }).mean, 3),
+         experiment::TableReport::fmt(
+             100.0 * redir.ci([](const auto& r) { return r.redirected_fraction; }).mean, 2)});
+  }
+  bench::emit(table, "second-level redirection: load balance vs client response time");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Ablation: scaling the site along the paper's stated parameter ranges —
+// K = 10..100 connected domains and N = 5..17 servers (Table 1) — while
+// holding offered load at 2/3 of capacity.
+//
+// Expected: more domains = finer-grained DNS control (each mapping pins a
+// smaller load slice), so every policy improves with K while the ordering
+// persists; more servers at fixed total capacity = smaller per-server
+// capacity relative to the hottest domain, stressing the schedulers.
+#include "bench_common.h"
+
+using namespace adattl;
+
+namespace {
+
+// Synthetic heterogeneous capacity vector for any N: top quarter at 1.0,
+// middle half at 0.8, bottom quarter at 0.5 (50%-level spread, Table 2
+// style).
+web::ClusterSpec synthetic_cluster(int n) {
+  web::ClusterSpec spec;
+  for (int i = 0; i < n; ++i) {
+    const double frac = static_cast<double>(i) / n;
+    spec.relative.push_back(frac < 0.25 ? 1.0 : frac < 0.75 ? 0.8 : 0.5);
+  }
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  const int reps = experiment::default_replications();
+  bench::print_run_banner("Ablation: site scale", "domains K = 10..100, servers N = 5..17");
+
+  experiment::TableReport domains({"K domains", "RR", "PRR2-TTL/2", "PRR2-TTL/K",
+                                   "DRR2-TTL/S_K"});
+  for (int k : {10, 20, 50, 100}) {
+    experiment::SimulationConfig cfg = bench::paper_config(35);
+    cfg.num_domains = k;
+    std::vector<std::string> row{std::to_string(k)};
+    for (const char* p : {"RR", "PRR2-TTL/2", "PRR2-TTL/K", "DRR2-TTL/S_K"}) {
+      row.push_back(experiment::TableReport::fmt(
+          experiment::run_policy(cfg, p, reps).prob_below(0.98).mean));
+    }
+    domains.add_row(std::move(row));
+  }
+  adattl::bench::emit(domains, "P(maxUtil < 0.98) vs number of connected domains");
+
+  experiment::TableReport servers({"N servers", "RR", "PRR2-TTL/K", "DRR2-TTL/S_K"});
+  for (int n : {5, 7, 11, 17}) {
+    experiment::SimulationConfig cfg = bench::paper_config(35);
+    cfg.cluster = synthetic_cluster(n);  // total capacity stays 500 hits/s
+    std::vector<std::string> row{std::to_string(n)};
+    for (const char* p : {"RR", "PRR2-TTL/K", "DRR2-TTL/S_K"}) {
+      row.push_back(experiment::TableReport::fmt(
+          experiment::run_policy(cfg, p, reps).prob_below(0.98).mean));
+    }
+    servers.add_row(std::move(row));
+  }
+  adattl::bench::emit(servers, "P(maxUtil < 0.98) vs number of servers (50%-style spread)");
+
+  // More NS caches per domain = finer DNS control over the same client
+  // population (each cache pins a smaller slice per TTL window).
+  experiment::TableReport fanout(
+      {"NS per domain", "RR", "PRR2-TTL/K", "DRR2-TTL/S_K", "DNS ctrl % (RR)"});
+  for (int m : {1, 2, 4, 8}) {
+    experiment::SimulationConfig cfg = bench::paper_config(35);
+    cfg.ns_per_domain = m;
+    std::vector<std::string> row{std::to_string(m)};
+    double ctrl = 0.0;
+    for (const char* p : {"RR", "PRR2-TTL/K", "DRR2-TTL/S_K"}) {
+      const experiment::ReplicatedResult rep = experiment::run_policy(cfg, p, reps);
+      row.push_back(experiment::TableReport::fmt(rep.prob_below(0.98).mean));
+      if (std::string(p) == "RR") {
+        ctrl = rep.ci([](const auto& r) { return r.dns_controlled_fraction; }).mean;
+      }
+    }
+    row.push_back(experiment::TableReport::fmt(100.0 * ctrl, 2));
+    fanout.add_row(std::move(row));
+  }
+  adattl::bench::emit(fanout, "P(maxUtil < 0.98) vs name servers per domain");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation (extension): how many round-robin tiers does server *selection*
+// need, independent of the TTL policy's class count?
+//
+// The paper stops at RR2 ("maintaining two-tier scheduling ... still
+// yields positive effect"). The RRn extension gives each weight class its
+// own pointer. Expected: like the TTL class-count ablation, the 1 -> 2
+// jump dominates; more selection tiers add little because the TTL policy
+// already absorbs the per-domain differences.
+#include "bench_common.h"
+
+using namespace adattl;
+
+int main() {
+  const int reps = experiment::default_replications();
+  bench::print_run_banner("Ablation: selection tiers", "heterogeneity 35%");
+
+  experiment::TableReport table({"selection", "with TTL/K", "with TTL/1 (constant)"});
+  const experiment::SimulationConfig cfg = bench::paper_config(35);
+
+  struct Row {
+    const char* label;
+    std::string adaptive;
+    std::string constant;
+  };
+  const Row rows[] = {
+      {"RR (1 tier)", "PRR-TTL/K", "PRR-TTL/1"},
+      {"RR2 (hot/normal)", "PRR2-TTL/K", "PRR2-TTL/1"},
+      {"RR3", "RR3-TTL/K", "RR3"},
+      {"RR4", "RR4-TTL/K", "RR4"},
+      {"RRK (per-domain)", "RRK-TTL/K", "RRK"},
+  };
+  for (const Row& row : rows) {
+    table.add_row({row.label,
+                   experiment::TableReport::fmt(
+                       experiment::run_policy(cfg, row.adaptive, reps).prob_below(0.98).mean),
+                   experiment::TableReport::fmt(
+                       experiment::run_policy(cfg, row.constant, reps).prob_below(0.98).mean)});
+  }
+  bench::emit(table, "P(maxUtil < 0.98) vs selection tier count");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Ablation: where does the domain-class-count payoff saturate?
+//
+// The paper evaluates i = 1 (constant), i = 2 (hot/normal) and i = K (one
+// TTL per domain). The TTL/i meta-algorithm admits any i; this bench fills
+// in the gap with i = 3 and 4. Expected: a large jump from 1 -> 2, smaller
+// gains to K — most of the benefit is in separating the few hot domains.
+#include "bench_common.h"
+
+using namespace adattl;
+
+int main() {
+  const int reps = experiment::default_replications();
+  bench::print_run_banner("Ablation: TTL class count", "heterogeneity 35%");
+
+  experiment::TableReport table(
+      {"classes i", "PRR2-TTL/i", "DRR2-TTL/S_i", "mean TTL PRR2 (s)"});
+  const experiment::SimulationConfig cfg = bench::paper_config(35);
+
+  for (const std::string i : {"1", "2", "3", "4", "K"}) {
+    const experiment::ReplicatedResult prob =
+        experiment::run_policy(cfg, "PRR2-TTL/" + i, reps);
+    const experiment::ReplicatedResult det =
+        experiment::run_policy(cfg, "DRR2-TTL/S_" + i, reps);
+    table.add_row({i, experiment::TableReport::fmt(prob.prob_below(0.98).mean),
+                   experiment::TableReport::fmt(det.prob_below(0.98).mean),
+                   experiment::TableReport::fmt(
+                       prob.ci([](const auto& r) { return r.mean_ttl; }).mean, 1)});
+  }
+  adattl::bench::emit(table, "P(maxUtil < 0.98) vs number of domain classes");
+  return 0;
+}

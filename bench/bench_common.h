@@ -1,0 +1,57 @@
+#pragma once
+
+// Shared setup for the figure-reproduction benches: the paper's default
+// scenario (Table 1) with duration/replications overridable through the
+// ADATTL_DURATION_SEC / ADATTL_REPLICATIONS environment variables.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "experiment/report.h"
+#include "experiment/runner.h"
+
+namespace adattl::bench {
+
+inline experiment::SimulationConfig paper_config(int heterogeneity_percent) {
+  experiment::SimulationConfig cfg;
+  cfg.cluster = web::table2_cluster(heterogeneity_percent);
+  cfg.duration_sec = experiment::default_duration_sec();
+  cfg.seed = 20260705;
+  return cfg;
+}
+
+/// True when ADATTL_CSV=1: benches emit machine-readable CSV for plotting
+/// pipelines instead of aligned tables.
+inline bool csv_mode() {
+  const char* v = std::getenv("ADATTL_CSV");
+  return v && v[0] == '1';
+}
+
+inline void print_run_banner(const char* figure, const std::string& detail) {
+  if (csv_mode()) return;
+  std::printf("%s — %s\n", figure, detail.c_str());
+  std::printf("(replications = %d, measured period = %.0f s per run; override via\n"
+              " ADATTL_REPLICATIONS / ADATTL_DURATION_SEC; ADATTL_CSV=1 for CSV)\n",
+              experiment::default_replications(), experiment::default_duration_sec());
+}
+
+/// Prints a table honoring the CSV mode switch.
+inline void emit(const experiment::TableReport& table, const std::string& title) {
+  if (csv_mode()) {
+    table.print_csv();
+  } else {
+    table.print(title);
+  }
+}
+
+/// Runs one policy under the "Ideal" scenario of Figures 1-2: PRR with a
+/// constant TTL under a *uniform* client distribution.
+inline experiment::ReplicatedResult run_ideal(experiment::SimulationConfig cfg,
+                                              int replications) {
+  cfg.uniform_clients = true;
+  cfg.policy = "PRR-TTL/1";
+  return experiment::run_replications(cfg, replications);
+}
+
+}  // namespace adattl::bench

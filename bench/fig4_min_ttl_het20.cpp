@@ -1,0 +1,11 @@
+// Figure 4: robustness to non-cooperative name servers at 20% system
+// heterogeneity. All NSs override any proposed TTL below the x-axis
+// threshold with the threshold itself (the paper's worst case).
+//
+// Paper shape: DRR2-TTL/S_K best throughout (its advantage narrowing as
+// the threshold rises, because hot-domain/weak-server mappings want small
+// TTLs); PRR2-TTL/K insensitive; PRR2-TTL/2 flat (its TTLs are naturally
+// above ~180 s once calibrated).
+#include "fig_min_ttl_common.h"
+
+int main() { return adattl::bench::run_min_ttl_figure("Figure 4", 20); }

@@ -1,0 +1,8 @@
+// Figure 5: as Figure 4 but at 50% system heterogeneity.
+//
+// Paper shape: DRR2-TTL/S_K stays best only while the threshold is below
+// ~100 s; beyond it the probabilistic K-class schemes (whose TTL spread
+// does not depend on server capacity) take over.
+#include "fig_min_ttl_common.h"
+
+int main() { return adattl::bench::run_min_ttl_figure("Figure 5", 50); }

@@ -1,0 +1,9 @@
+// Figure 6: sensitivity to the error in estimating the domain hidden load
+// weight at 20% system heterogeneity.
+//
+// Paper shape: the four TTL/K / TTL/S_K schemes cluster at the top and
+// lose only a few points even at 50% error; the TTL/2 / TTL/S_2 schemes
+// sit lower and degrade faster.
+#include "fig_estimation_error_common.h"
+
+int main() { return adattl::bench::run_estimation_error_figure("Figure 6", 20); }

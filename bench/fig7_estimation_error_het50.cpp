@@ -1,0 +1,8 @@
+// Figure 7: as Figure 6 but at 50% system heterogeneity.
+//
+// Paper shape: with high heterogeneity *and* large error the two-class
+// schemes degrade substantially, while TTL/K / TTL/S_K remain only mildly
+// affected — the headline robustness claim of the paper.
+#include "fig_estimation_error_common.h"
+
+int main() { return adattl::bench::run_estimation_error_figure("Figure 7", 50); }

@@ -1,0 +1,40 @@
+#pragma once
+
+// Shared driver for Figures 4 and 5: sensitivity to non-cooperative name
+// servers that refuse TTL values below their own minimum threshold.
+
+#include "bench_common.h"
+
+namespace adattl::bench {
+
+inline int run_min_ttl_figure(const char* figure, int heterogeneity_percent) {
+  const int reps = experiment::default_replications();
+  print_run_banner(figure,
+                   "sensitivity to minimum accepted TTL, heterogeneity " +
+                       std::to_string(heterogeneity_percent) + "%");
+
+  const std::vector<std::string> policies = {
+      "DRR2-TTL/S_K", "DRR-TTL/S_K", "PRR2-TTL/K", "PRR-TTL/K", "PRR2-TTL/2",
+  };
+
+  std::vector<std::string> headers = {"minTTL(s)"};
+  for (const auto& p : policies) headers.push_back(p);
+  experiment::TableReport table(headers);
+
+  for (double min_ttl : {0.0, 30.0, 60.0, 90.0, 120.0, 180.0, 240.0, 300.0}) {
+    experiment::SimulationConfig cfg = paper_config(heterogeneity_percent);
+    cfg.ns_min_ttl_sec = min_ttl;
+    std::vector<std::string> row{experiment::TableReport::fmt(min_ttl, 0)};
+    for (const auto& p : policies) {
+      const experiment::ReplicatedResult rep = experiment::run_policy(cfg, p, reps);
+      row.push_back(experiment::TableReport::fmt(rep.prob_below(0.98).mean));
+    }
+    table.add_row(std::move(row));
+  }
+  adattl::bench::emit(table, std::string(figure) +
+              ": Prob(maxUtilization < 0.98) vs minimum accepted TTL (heterogeneity " +
+              std::to_string(heterogeneity_percent) + "%)");
+  return 0;
+}
+
+}  // namespace adattl::bench

@@ -1,0 +1,52 @@
+// Micro-benchmarks of the random-variate layer: each simulated page draws
+// one uniform (hits), one Erlang (service) and one exponential (think).
+#include <benchmark/benchmark.h>
+
+#include "sim/random.h"
+
+namespace {
+
+using adattl::sim::RngStream;
+using adattl::sim::ZipfDistribution;
+
+void BM_NextU64(benchmark::State& state) {
+  RngStream rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_u64());
+}
+BENCHMARK(BM_NextU64);
+
+void BM_Exponential(benchmark::State& state) {
+  RngStream rng(2);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.exponential(15.0));
+}
+BENCHMARK(BM_Exponential);
+
+void BM_Erlang10(benchmark::State& state) {
+  RngStream rng(3);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.erlang(10, 0.14));
+}
+BENCHMARK(BM_Erlang10);
+
+void BM_UniformInt(benchmark::State& state) {
+  RngStream rng(4);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.uniform_int(5, 15));
+}
+BENCHMARK(BM_UniformInt);
+
+void BM_ZipfSample(benchmark::State& state) {
+  const ZipfDistribution zipf(static_cast<int>(state.range(0)), 1.0);
+  RngStream rng(5);
+  for (auto _ : state) benchmark::DoNotOptimize(zipf.sample(rng));
+}
+BENCHMARK(BM_ZipfSample)->Arg(20)->Arg(100)->Arg(1000);
+
+void BM_Split(benchmark::State& state) {
+  RngStream rng(6);
+  for (auto _ : state) {
+    RngStream child = rng.split();
+    benchmark::DoNotOptimize(child);
+  }
+}
+BENCHMARK(BM_Split);
+
+}  // namespace

@@ -1,0 +1,48 @@
+// End-to-end simulator throughput: simulated seconds per wall-clock
+// second for the paper's default scenario. Validates that full 5-hour
+// paper runs are cheap (they dispatch ~1.5M events each).
+#include <benchmark/benchmark.h>
+
+#include "experiment/site.h"
+
+namespace {
+
+using namespace adattl;
+
+void BM_FullSite(benchmark::State& state, const char* policy) {
+  std::uint64_t events = 0;
+  double simulated = 0.0;
+  for (auto _ : state) {
+    experiment::SimulationConfig cfg;
+    cfg.cluster = web::table2_cluster(35);
+    cfg.policy = policy;
+    cfg.warmup_sec = 60.0;
+    cfg.duration_sec = 540.0;  // 10 simulated minutes per iteration
+    cfg.seed = 1000 + static_cast<std::uint64_t>(state.iterations());
+    experiment::Site site(cfg);
+    const experiment::RunResult r = site.run();
+    events += r.events_dispatched;
+    simulated += cfg.warmup_sec + cfg.duration_sec;
+    benchmark::DoNotOptimize(r.prob_below_098);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["sim_sec_per_iter"] = simulated / static_cast<double>(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_FullSite, RR, "RR")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FullSite, DRR2_TTLSK, "DRR2-TTL/S_K")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FullSite, PRR2_TTLK_measured, "PRR2-TTL/K")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SiteConstruction(benchmark::State& state) {
+  // Object-graph build cost (500 clients, 7 servers, 20 name servers).
+  for (auto _ : state) {
+    experiment::SimulationConfig cfg;
+    cfg.policy = "DRR2-TTL/S_K";
+    experiment::Site site(cfg);
+    benchmark::DoNotOptimize(&site);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SiteConstruction)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

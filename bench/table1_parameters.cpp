@@ -1,0 +1,42 @@
+// Regenerates the paper's Table 1: the parameters of the system model, as
+// actually wired into the default SimulationConfig (so the table can never
+// drift from the code).
+#include <cstdio>
+
+#include "experiment/config.h"
+#include "experiment/report.h"
+
+using namespace adattl;
+
+int main() {
+  const experiment::SimulationConfig cfg;  // defaults == Table 1
+
+  experiment::TableReport t({"category", "parameter", "setting (default)"});
+  using R = experiment::TableReport;
+
+  t.add_row({"Domain", "connected", "K = 10-100 (" + std::to_string(cfg.num_domains) + ")"});
+  t.add_row({"Domain", "clients per domain", "pure Zipf (theta = " + R::fmt(cfg.zipf_theta, 1) + ")"});
+  t.add_row({"Client", "total number", std::to_string(cfg.total_clients)});
+  t.add_row({"Client", "mean think time", R::fmt(cfg.mean_think_sec, 0) + " sec"});
+  t.add_row({"Request", "requests per session",
+             R::fmt(cfg.session.mean_pages_per_session, 0) + " pages (geometric)"});
+  t.add_row({"Request", "hits per request",
+             "uniform " + std::to_string(cfg.session.min_hits_per_page) + "-" +
+                 std::to_string(cfg.session.max_hits_per_page)});
+  t.add_row({"Web site", "servers", "N = " + std::to_string(cfg.cluster.size())});
+  t.add_row({"Web site", "total capacity",
+             R::fmt(cfg.cluster.total_capacity_hits_per_sec, 0) + " hits/sec"});
+  t.add_row({"Web site", "heterogeneity",
+             "0-65% (" + R::fmt(cfg.cluster.heterogeneity_percent(), 0) + "%)"});
+  t.add_row({"Web site", "average utilization", "2/3 of total capacity (emergent)"});
+  t.add_row({"Algorithm", "utilization interval", R::fmt(cfg.monitor_interval_sec, 0) + " sec"});
+  t.add_row({"Algorithm", "alarm threshold", "theta = " + R::fmt(cfg.alarm_threshold, 2)});
+  t.add_row({"Algorithm", "class threshold",
+             "gamma = 1/K = " + R::fmt(cfg.effective_class_threshold(), 3)});
+  t.add_row({"Algorithm", "constant TTL", R::fmt(cfg.reference_ttl_sec, 0) + " sec"});
+  t.add_row({"Run", "simulated length", R::fmt(cfg.duration_sec / 3600.0, 0) + " hours (+" +
+                                            R::fmt(cfg.warmup_sec, 0) + " s warm-up)"});
+
+  t.print("Table 1: parameters of the system model");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Regenerates the paper's Table 2: the relative server capacities of each
+// heterogeneity level, plus derived quantities (absolute capacities under
+// the fixed 500 hits/s total, power ratio rho).
+#include <string>
+
+#include "experiment/report.h"
+#include "web/cluster.h"
+
+using namespace adattl;
+
+int main() {
+  experiment::TableReport t(
+      {"level", "relative capacities (alpha_i)", "absolute C_i (hits/s)", "rho = C_1/C_N"});
+  using R = experiment::TableReport;
+
+  for (int level : web::table2_levels()) {
+    const web::ClusterSpec spec = web::table2_cluster(level);
+    std::string rel;
+    std::string abs;
+    const std::vector<double> c = spec.absolute_capacities();
+    for (int i = 0; i < spec.size(); ++i) {
+      rel += R::fmt(spec.relative[static_cast<std::size_t>(i)], 2);
+      abs += R::fmt(c[static_cast<std::size_t>(i)], 1);
+      if (i + 1 < spec.size()) {
+        rel += " ";
+        abs += " ";
+      }
+    }
+    t.add_row({std::to_string(level) + "%", rel, abs, R::fmt(spec.power_ratio(), 2)});
+  }
+  t.print("Table 2: parameters of the heterogeneity levels");
+  return 0;
+}

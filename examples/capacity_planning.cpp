@@ -1,0 +1,81 @@
+// Example: capacity planning with an SLO.
+//
+// "We expect ~330 hits/s from 500 clients. How much total server capacity
+// do we need so that no server exceeds 98% utilization at least 90% of the
+// time — and how much does the scheduling policy change the answer?"
+//
+// This bisects the total site capacity per policy until the SLO is met.
+// The gap between RR's answer and DRR2-TTL/S_K's answer is the hardware
+// cost of naive DNS scheduling.
+//
+// Build & run:   ./build/examples/capacity_planning
+#include <cstdio>
+
+#include "experiment/report.h"
+#include "experiment/runner.h"
+
+using namespace adattl;
+
+namespace {
+
+constexpr double kSloProbability = 0.90;  // P(maxUtil < 0.98) target
+
+double slo_metric(const std::string& policy, double total_capacity) {
+  experiment::SimulationConfig cfg;
+  cfg.cluster = web::table2_cluster(35);
+  cfg.cluster.total_capacity_hits_per_sec = total_capacity;
+  cfg.policy = policy;
+  cfg.duration_sec = 3600.0;
+  cfg.seed = 23;
+  return experiment::run_replications(cfg, 2).prob_below(0.98).mean;
+}
+
+/// Smallest capacity in [lo, hi] meeting the SLO, to ~2% resolution.
+double required_capacity(const std::string& policy, double lo, double hi) {
+  if (slo_metric(policy, hi) < kSloProbability) return -1.0;  // not attainable in range
+  while (hi / lo > 1.02) {
+    const double mid = 0.5 * (lo + hi);
+    if (slo_metric(policy, mid) >= kSloProbability) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("SLO: P(maxUtil < 0.98) >= %.0f%%. Offered load ~329 hits/s\n"
+              "(500 clients, 15 s think, 10 hits/page). 7 servers, 35%% heterogeneity.\n\n",
+              100.0 * kSloProbability);
+
+  experiment::TableReport table(
+      {"policy", "required capacity (hits/s)", "headroom over offered load", "vs best"});
+  const double offered = 500.0 * 10.0 / 15.0;
+
+  double best = -1.0;
+  std::vector<std::pair<std::string, double>> results;
+  for (const char* policy : {"DRR2-TTL/S_K", "PRR2-TTL/K", "PRR2-TTL/2", "RR"}) {
+    const double cap = required_capacity(policy, 350.0, 2000.0);
+    results.emplace_back(policy, cap);
+    if (cap > 0 && (best < 0 || cap < best)) best = cap;
+  }
+  for (const auto& [policy, cap] : results) {
+    if (cap < 0) {
+      table.add_row({policy, "> 2000 (SLO unreachable in range)", "-", "-"});
+      continue;
+    }
+    table.add_row({policy, experiment::TableReport::fmt(cap, 0),
+                   experiment::TableReport::fmt(cap / offered, 2) + "x",
+                   experiment::TableReport::fmt(cap / best, 2) + "x"});
+  }
+  table.print("capacity needed to meet the SLO, by DNS scheduling policy");
+
+  std::printf(
+      "\nThe adaptive-TTL site meets the SLO with far less hardware: under RR a\n"
+      "hot domain pins its whole load on one server for each 240 s TTL window,\n"
+      "so only massive over-provisioning keeps the max utilization down.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Demo of the simulation kernel's C++20 coroutine process API (sim/process.h)
+// — the process-oriented programming model CSIM users expect, built on the
+// same event queue the main model uses.
+//
+// The scenario: a tiny custom model written from scratch against the
+// kernel — an M/M/1 queue fed by a Poisson process — validated against
+// queueing theory (W = 1/(mu - lambda)), plus a watcher process that
+// samples the queue periodically. No experiment:: machinery involved:
+// this is what building *your own* model on the substrate looks like.
+//
+// Build & run:   ./build/examples/coroutine_kernel_demo
+#include <cstdio>
+#include <deque>
+
+#include "sim/process.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+
+using namespace adattl;
+
+namespace {
+
+struct Mm1Queue {
+  std::deque<double> arrival_times;  // waiting customers
+  bool busy = false;
+  sim::RunningStat sojourn;          // time in system
+  sim::RunningStat sampled_length;   // watcher's view
+};
+
+sim::Process server(sim::Simulator& sim, Mm1Queue& q, double mu, sim::RngStream rng) {
+  for (;;) {
+    if (q.arrival_times.empty()) {
+      // Idle: poll cheaply. (A condition-variable analogue would need
+      // cross-process wakeups; polling at 10x the service rate keeps the
+      // demo honest within ~1% while staying three lines long.)
+      q.busy = false;
+      co_await sim::delay(sim, 0.1 / mu);
+      continue;
+    }
+    q.busy = true;
+    const double arrived = q.arrival_times.front();
+    q.arrival_times.pop_front();
+    co_await sim::delay(sim, rng.exponential(1.0 / mu));
+    q.sojourn.add(sim.now() - arrived);
+  }
+}
+
+sim::Process arrivals(sim::Simulator& sim, Mm1Queue& q, double lambda, sim::RngStream rng) {
+  for (;;) {
+    co_await sim::delay(sim, rng.exponential(1.0 / lambda));
+    q.arrival_times.push_back(sim.now());
+  }
+}
+
+sim::Process watcher(sim::Simulator& sim, Mm1Queue& q, double period) {
+  for (;;) {
+    co_await sim::delay(sim, period);
+    q.sampled_length.add(static_cast<double>(q.arrival_times.size()) + (q.busy ? 1 : 0));
+  }
+}
+
+}  // namespace
+
+int main() {
+  const double lambda = 0.7;  // arrivals/s
+  const double mu = 1.0;      // services/s
+
+  sim::Simulator sim;
+  sim::RngStream rng(2026);
+  Mm1Queue q;
+  arrivals(sim, q, lambda, rng.split());
+  server(sim, q, mu, rng.split());
+  watcher(sim, q, 5.0);
+  sim.run_until(500000.0);
+
+  const double w_theory = 1.0 / (mu - lambda);          // mean time in system
+  const double l_theory = lambda / (mu - lambda);       // mean number in system
+  std::printf("M/M/1 with lambda=%.1f, mu=%.1f over %.0f simulated seconds\n", lambda, mu,
+              sim.now());
+  std::printf("  mean time in system  : %.3f s   (theory %.3f s)\n", q.sojourn.mean(),
+              w_theory);
+  std::printf("  mean number in system: %.3f     (theory %.3f)\n", q.sampled_length.mean(),
+              l_theory);
+  std::printf("  customers served     : %llu\n",
+              static_cast<unsigned long long>(q.sojourn.count()));
+  std::printf("\nThree coroutines (arrivals, server, watcher) and zero hand-written\n"
+              "callbacks — the process API is how custom models plug into the same\n"
+              "kernel the DNS load-balancing simulation runs on.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Demo: the paper's scheduler answering *real* DNS packets.
+//
+// DnsFrontend adapts a core::DnsScheduler to RFC 1035 wire format: feed it
+// query bytes, get authoritative A-record responses whose address is the
+// chosen server and whose TTL is the adaptive policy's per-request TTL.
+// Bind the same calls to a UDP socket and the 1998 algorithms serve 2026
+// resolvers unchanged.
+//
+// This demo crafts queries from three resolvers (a hot domain, a mid
+// domain, a cold domain), prints the wire-level answers, and shows the
+// TTL shaping that is invisible in aggregate statistics: hot domains get
+// short leases, cold domains long ones, weak servers shorter than strong.
+//
+// Build & run:   ./build/examples/dns_wire_demo
+#include <cstdio>
+
+#include "core/policy_factory.h"
+#include "dnswire/frontend.h"
+#include "experiment/report.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "web/cluster.h"
+
+using namespace adattl;
+
+namespace {
+
+std::string dotted_ip(std::uint32_t ip) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (ip >> 24) & 0xff, (ip >> 16) & 0xff,
+                (ip >> 8) & 0xff, ip & 0xff);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  sim::Simulator simulator;
+  sim::RngStream rng(2026);
+  const web::ClusterSpec spec = web::table2_cluster(50);
+
+  core::AlarmRegistry alarms(spec.size(), 0.9);
+  core::SchedulerFactoryConfig fc;
+  fc.capacities = spec.absolute_capacities();
+  fc.initial_weights = sim::ZipfDistribution(20, 1.0).probabilities();
+  fc.class_threshold = 1.0 / 20;
+  core::SchedulerBundle bundle =
+      core::make_scheduler("DRR2-TTL/S_K", fc, alarms, simulator, rng);
+
+  // 10.0.0.1 .. 10.0.0.7, strongest server first.
+  std::vector<std::uint32_t> addrs;
+  for (int s = 0; s < spec.size(); ++s) addrs.push_back(0x0A000001 + static_cast<unsigned>(s));
+  dnswire::DnsFrontend frontend(*bundle.scheduler, "www.site.org", addrs);
+
+  std::printf("Authoritative frontend for www.site.org over 7 servers (50%% heterogeneity),\n"
+              "policy DRR2-TTL/S_K. Eight queries per resolver:\n");
+
+  experiment::TableReport table({"resolver (domain)", "answers (address ttl)"});
+  for (int domain : {0, 5, 19}) {
+    std::string answers;
+    for (int i = 0; i < 8; ++i) {
+      const std::vector<std::uint8_t> query =
+          dnswire::encode_query(static_cast<std::uint16_t>(1000 + i), "www.site.org");
+      const std::vector<std::uint8_t> response = frontend.handle(query, domain);
+      dnswire::Header h;
+      std::uint32_t ip = 0, ttl = 0;
+      if (!dnswire::decode_a_response(response, &h, &ip, &ttl)) {
+        std::fprintf(stderr, "malformed response!\n");
+        return 1;
+      }
+      answers += dotted_ip(ip) + " " + std::to_string(ttl) + "s";
+      if (i + 1 < 8) answers += ", ";
+    }
+    const char* label = domain == 0 ? "domain 0 (hot, 28% of load)"
+                        : domain == 5 ? "domain 5 (mid, 4.6%)"
+                                      : "domain 19 (cold, 1.4%)";
+    table.add_row({label, answers});
+  }
+  table.print("wire-level answers");
+
+  std::printf("\nReading: every response is a routable A record; the *address* walks the\n"
+              "two-tier round robin and the *TTL* is the policy — short leases for the\n"
+              "hot domain (and shorter still on the weak 10.0.0.5-7 boxes), long leases\n"
+              "for the cold domain. %llu queries answered, %llu refused.\n",
+              static_cast<unsigned long long>(frontend.answered()),
+              static_cast<unsigned long long>(frontend.refused()));
+  return 0;
+}

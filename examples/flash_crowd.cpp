@@ -1,0 +1,97 @@
+// Example: a flash crowd with *online* hidden-load estimation.
+//
+// The paper's controlled experiments give the DNS oracle knowledge of the
+// domain weights. In production the DNS must estimate them from server
+// feedback. This example starts the estimator cold (uniform weights — it
+// knows nothing about which domains are hot), then hits the site with a
+// scripted flash crowd mid-run (a cold domain suddenly 8x hotter), and
+// shows the EWMA estimator discovering both the Zipf skew and the shift
+// from the per-domain hit counters the servers report. The resulting load
+// balance is compared against the (stale) oracle and a constant-TTL
+// policy.
+//
+// Build & run:   ./build/examples/flash_crowd
+#include <cstdio>
+
+#include "experiment/report.h"
+#include "experiment/site.h"
+
+using namespace adattl;
+
+namespace {
+
+experiment::SimulationConfig base_config() {
+  experiment::SimulationConfig cfg;
+  cfg.cluster = web::table2_cluster(50);
+  cfg.policy = "PRR2-TTL/K";
+  cfg.duration_sec = 5400.0;
+  cfg.seed = 3;
+  // The flash crowd: domain 14 (cold, ~1.9% of load) turns 8x hotter
+  // half-way through the run. The DNS is not told.
+  cfg.rate_shifts.push_back({cfg.warmup_sec + cfg.duration_sec / 2.0, 14, 8.0});
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Flash crowd: the DNS starts with no idea which of the %d domains are hot.\n",
+              base_config().num_domains);
+
+  // 1) Cold-start online estimation.
+  experiment::SimulationConfig cold = base_config();
+  cold.oracle_weights = false;
+  cold.estimator_cold_start = true;
+  experiment::Site cold_site(cold);
+  const experiment::RunResult cold_result = cold_site.run();
+
+  // Show what the estimator learned vs the truth.
+  // "true share" is the post-flash-crowd rate (clients / scaled think).
+  const auto& think = cold_site.think_time_model();
+  const auto& ds = cold_site.domain_set();
+  std::vector<double> truth(static_cast<std::size_t>(ds.num_domains()));
+  double truth_total = 0.0;
+  for (int d = 0; d < ds.num_domains(); ++d) {
+    truth[static_cast<std::size_t>(d)] =
+        ds.clients[static_cast<std::size_t>(d)] / think.mean_think(d);
+    truth_total += truth[static_cast<std::size_t>(d)];
+  }
+  experiment::TableReport learned({"domain", "true share (now)", "estimated share", "hot?"});
+  const auto& model = cold_site.domain_model();
+  for (int d : {0, 1, 2, 3, 4, 13, 14, 15}) {
+    learned.add_row({std::to_string(d) + (d == 14 ? " (flash)" : ""),
+                     experiment::TableReport::fmt(truth[static_cast<std::size_t>(d)] / truth_total),
+                     experiment::TableReport::fmt(model.share(d)),
+                     model.is_hot(d) ? "hot" : "normal"});
+  }
+  learned.print("estimator view after the run (hot ranks + flash domain)");
+
+  // 2) Oracle weights (the paper's setting) for comparison.
+  experiment::Site oracle_site(base_config());
+  const experiment::RunResult oracle_result = oracle_site.run();
+
+  // 3) Constant TTL: what you lose by not adapting at all.
+  experiment::SimulationConfig constant = base_config();
+  constant.policy = "PRR2-TTL/1";
+  experiment::Site constant_site(constant);
+  const experiment::RunResult constant_result = constant_site.run();
+
+  experiment::TableReport cmp({"configuration", "P(maxU<0.9)", "P(maxU<0.98)", "mean maxUtil"});
+  auto row = [&](const char* name, const experiment::RunResult& r) {
+    cmp.add_row({name, experiment::TableReport::fmt(r.prob_below_090),
+                 experiment::TableReport::fmt(r.prob_below_098),
+                 experiment::TableReport::fmt(r.mean_max_utilization)});
+  };
+  row("PRR2-TTL/K, cold-start estimator", cold_result);
+  row("PRR2-TTL/K, stale oracle weights", oracle_result);
+  row("PRR2-TTL/1, constant TTL", constant_result);
+  cmp.print("load balance under a flash crowd (50% heterogeneity)");
+
+  std::printf(
+      "\nThe online estimator (fed by the servers' per-domain hit counters every\n"
+      "%.0f s) recovers the Zipf ranking within a few collection windows AND\n"
+      "tracks the mid-run flash crowd, while the 'oracle' keeps scheduling with\n"
+      "pre-crowd weights — the paper's robustness claim, live.\n",
+      base_config().monitor_interval_sec * base_config().estimator_collect_every_ticks);
+  return 0;
+}

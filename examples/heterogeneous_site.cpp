@@ -1,0 +1,76 @@
+// Example: capacity-planning study for a custom heterogeneous Web site.
+//
+// A site operator has five servers of very different sizes (an old pair of
+// boxes next to three newer ones) and wants to know which DNS scheduling
+// policy keeps the weakest machine out of overload, and what happens if
+// the site grows hotter. This example builds that custom cluster (not a
+// paper preset), sweeps the whole policy matrix, and prints a ranking.
+//
+// Build & run:   ./build/examples/heterogeneous_site
+#include <algorithm>
+#include <cstdio>
+
+#include "experiment/report.h"
+#include "experiment/runner.h"
+
+using namespace adattl;
+
+namespace {
+
+experiment::SimulationConfig make_site(double mean_think_sec) {
+  experiment::SimulationConfig cfg;
+  // Custom 5-server site: two big, one medium, two old small machines.
+  cfg.cluster.relative = {1.0, 1.0, 0.7, 0.4, 0.4};
+  cfg.cluster.total_capacity_hits_per_sec = 350.0;
+  cfg.num_domains = 30;
+  cfg.total_clients = 350;
+  cfg.mean_think_sec = mean_think_sec;
+  cfg.duration_sec = 3600.0;
+  cfg.seed = 12;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Custom site: 5 servers, relative capacities 1/1/0.7/0.4/0.4,\n"
+              "350 hits/s total, 30 domains, 350 clients.\n");
+
+  const std::vector<std::string> policies = {
+      "RR",          "RR2",          "DAL",          "PRR-TTL/1",    "PRR-TTL/2",
+      "PRR-TTL/K",   "PRR2-TTL/2",   "PRR2-TTL/K",   "DRR-TTL/S_2",  "DRR-TTL/S_K",
+      "DRR2-TTL/S_2", "DRR2-TTL/S_K",
+  };
+
+  // Two load levels: normal (~2/3 utilization) and a hot month (~80%).
+  for (double think : {15.0, 12.0}) {
+    const experiment::SimulationConfig cfg = make_site(think);
+    const double offered = cfg.total_clients * cfg.session.mean_hits_per_page() / think;
+    std::printf("\nOffered load %.0f hits/s (%.0f%% of capacity):\n", offered,
+                100.0 * offered / cfg.cluster.total_capacity_hits_per_sec);
+
+    std::vector<std::pair<double, std::string>> ranking;
+    experiment::TableReport table(
+        {"policy", "P(maxU<0.9)", "P(maxU<0.98)", "weakest-server util", "mean TTL (s)"});
+    for (const auto& p : policies) {
+      const experiment::ReplicatedResult rep = experiment::run_policy(cfg, p, 2);
+      const experiment::RunResult& r = rep.runs.front();
+      table.add_row({p, experiment::TableReport::fmt(rep.prob_below(0.90).mean),
+                     experiment::TableReport::fmt(rep.prob_below(0.98).mean),
+                     experiment::TableReport::fmt(r.mean_server_util.back()),
+                     experiment::TableReport::fmt(r.mean_ttl, 1)});
+      ranking.emplace_back(rep.prob_below(0.98).mean, p);
+    }
+    table.print("policy matrix");
+
+    std::sort(ranking.rbegin(), ranking.rend());
+    std::printf("best three for this load: %s, %s, %s\n", ranking[0].second.c_str(),
+                ranking[1].second.c_str(), ranking[2].second.c_str());
+  }
+
+  std::printf(
+      "\nReading: the deterministic DRR2-TTL/S_K (per-domain TTL scaled by the\n"
+      "chosen server's capacity) protects the 0.4-capacity machines best; plain\n"
+      "RR pins hot domains on them for a whole 240 s TTL and overloads them.\n");
+  return 0;
+}

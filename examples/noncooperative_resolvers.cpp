@@ -1,0 +1,57 @@
+// Example: choosing a policy when resolvers ignore small TTLs.
+//
+// Real-world name servers clamp TTLs they consider too small (the paper's
+// "non-cooperative NS" problem). This example sweeps the resolvers'
+// minimum accepted TTL and reports, per threshold, which algorithm an
+// operator should deploy — reproducing the paper's §5.2 decision rule:
+// DRR2-TTL/S_K while resolvers are cooperative, a probabilistic K-class
+// or 2-class scheme once they are not.
+//
+// Build & run:   ./build/examples/noncooperative_resolvers
+#include <algorithm>
+#include <cstdio>
+
+#include "experiment/report.h"
+#include "experiment/runner.h"
+
+using namespace adattl;
+
+int main() {
+  experiment::SimulationConfig cfg;
+  cfg.cluster = web::table2_cluster(50);
+  cfg.duration_sec = 3600.0;
+  cfg.seed = 41;
+
+  const std::vector<std::string> candidates = {
+      "DRR2-TTL/S_K", "PRR2-TTL/K", "PRR2-TTL/2",
+  };
+
+  std::printf("Site: 7 servers at 50%% heterogeneity. Sweeping the resolvers'\n"
+              "minimum accepted TTL; every NS replaces smaller TTLs with its minimum.\n");
+
+  experiment::TableReport table({"min TTL (s)", "DRR2-TTL/S_K", "PRR2-TTL/K", "PRR2-TTL/2",
+                                 "deploy"});
+  for (double min_ttl : {0.0, 60.0, 120.0, 240.0}) {
+    cfg.ns_min_ttl_sec = min_ttl;
+    std::vector<double> scores;
+    std::vector<std::string> cells{experiment::TableReport::fmt(min_ttl, 0)};
+    for (const auto& p : candidates) {
+      const experiment::ReplicatedResult rep = experiment::run_policy(cfg, p, 2);
+      scores.push_back(rep.prob_below(0.98).mean);
+      cells.push_back(experiment::TableReport::fmt(scores.back()));
+    }
+    const std::size_t best = static_cast<std::size_t>(
+        std::max_element(scores.begin(), scores.end()) - scores.begin());
+    cells.push_back(candidates[best]);
+    table.add_row(std::move(cells));
+  }
+  table.print("P(maxUtil < 0.98) per policy and resolver minimum TTL");
+
+  std::printf(
+      "\nDecision rule (matches the paper): with cooperative resolvers the\n"
+      "deterministic per-domain/per-server scheme wins because it can hand the\n"
+      "hottest domains very small TTLs; once resolvers clamp TTLs, those small\n"
+      "values are ignored and the coarser probabilistic schemes — whose TTLs\n"
+      "are naturally larger — take over.\n");
+  return 0;
+}

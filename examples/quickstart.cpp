@@ -1,0 +1,39 @@
+// Quickstart: simulate a heterogeneous distributed Web site and compare
+// plain DNS round-robin against the paper's best adaptive-TTL algorithm.
+//
+// Build & run:   ./build/examples/quickstart
+#include <cstdio>
+
+#include "experiment/report.h"
+#include "experiment/runner.h"
+
+using namespace adattl;
+
+int main() {
+  experiment::SimulationConfig cfg;
+  cfg.cluster = web::table2_cluster(35);  // 7 servers, 35% heterogeneity
+  cfg.duration_sec = 3600.0;              // one simulated hour is plenty here
+  cfg.seed = 7;
+
+  std::printf("Simulating a 7-server Web site (35%% heterogeneity, %d domains, %d clients)\n",
+              cfg.num_domains, cfg.total_clients);
+
+  experiment::TableReport table(
+      {"policy", "P(maxUtil<0.9)", "P(maxUtil<0.98)", "mean maxUtil", "avg util", "DNS ctrl %"});
+  for (const char* policy : {"RR", "PRR2-TTL/K", "DRR2-TTL/S_K"}) {
+    const experiment::ReplicatedResult rep = experiment::run_policy(cfg, policy, 2);
+    const experiment::RunResult& r = rep.runs.front();
+    table.add_row({policy, experiment::TableReport::fmt(rep.prob_below(0.90).mean),
+                   experiment::TableReport::fmt(rep.prob_below(0.98).mean),
+                   experiment::TableReport::fmt(r.mean_max_utilization),
+                   experiment::TableReport::fmt(r.aggregate_utilization),
+                   experiment::TableReport::fmt(100.0 * r.dns_controlled_fraction, 2)});
+  }
+  table.print("adaptive TTL vs round robin");
+
+  std::printf(
+      "\nHigher P(maxUtil<x) is better: it is the fraction of time no server\n"
+      "exceeded that utilization. Adaptive TTL keeps the weak servers out of\n"
+      "overload even though the DNS controls only a few percent of requests.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+#include "core/alarm_registry.h"
+
+#include <stdexcept>
+
+namespace adattl::core {
+
+AlarmRegistry::AlarmRegistry(int num_servers, double threshold, bool enabled,
+                             std::size_t queue_threshold)
+    : threshold_(threshold),
+      queue_threshold_(queue_threshold),
+      enabled_(enabled),
+      alarmed_(static_cast<std::size_t>(num_servers), false),
+      eligible_(static_cast<std::size_t>(num_servers), true) {
+  if (num_servers <= 0) throw std::invalid_argument("AlarmRegistry: need >= 1 server");
+  if (threshold <= 0.0 || threshold > 1.0) {
+    throw std::invalid_argument("AlarmRegistry: threshold must lie in (0, 1]");
+  }
+}
+
+void AlarmRegistry::observe(sim::SimTime now, const std::vector<double>& utilizations) {
+  observe_full(now, utilizations, {});
+}
+
+void AlarmRegistry::observe_full(sim::SimTime /*now*/, const std::vector<double>& utilizations,
+                                 const std::vector<std::size_t>& queue_lengths) {
+  if (!enabled_) return;
+  if (utilizations.size() != alarmed_.size()) {
+    throw std::invalid_argument("AlarmRegistry: utilization vector size mismatch");
+  }
+  if (!queue_lengths.empty() && queue_lengths.size() != alarmed_.size()) {
+    throw std::invalid_argument("AlarmRegistry: queue vector size mismatch");
+  }
+  bool changed = false;
+  for (std::size_t i = 0; i < utilizations.size(); ++i) {
+    const bool queue_over = queue_threshold_ > 0 && !queue_lengths.empty() &&
+                            queue_lengths[i] > queue_threshold_;
+    const bool over = utilizations[i] > threshold_ || queue_over;
+    if (over && !alarmed_[i]) {
+      alarmed_[i] = true;
+      ++alarm_signals_;
+      changed = true;
+    } else if (!over && alarmed_[i]) {
+      alarmed_[i] = false;
+      ++normal_signals_;
+      changed = true;
+    }
+  }
+  if (changed) rebuild_eligible();
+}
+
+void AlarmRegistry::rebuild_eligible() {
+  bool any = false;
+  for (std::size_t i = 0; i < alarmed_.size(); ++i) {
+    eligible_[i] = !alarmed_[i];
+    any = any || eligible_[i];
+  }
+  if (!any) {
+    // Everyone is overloaded: the DNS still has to answer address requests,
+    // so fall back to considering all servers.
+    eligible_.assign(eligible_.size(), true);
+  }
+}
+
+}  // namespace adattl::core

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+#include "web/types.h"
+
+namespace adattl::core {
+
+/// The paper's asynchronous feedback mechanism (§2): each server checks its
+/// utilization every reporting interval; crossing the alarm threshold θ
+/// upward sends an "alarm" signal to the DNS, crossing it downward sends a
+/// "normal" signal. Alarmed servers are excluded from scheduling until
+/// they recover.
+///
+/// observe() is wired to the MonitorHub so signals arrive with the same
+/// 8-second cadence the paper models.
+/// The paper's feedback is utilization-only; a *silent outage* (a stalled
+/// server) leaves utilization near zero while its backlog explodes, so a
+/// utilization-only DNS keeps feeding the dead server. The optional queue
+/// threshold extends the signal: a server is also alarmed while its queue
+/// exceeds `queue_threshold` pages (0 = paper-faithful, disabled).
+class AlarmRegistry {
+ public:
+  AlarmRegistry(int num_servers, double threshold, bool enabled = true,
+                std::size_t queue_threshold = 0);
+
+  /// Feeds one utilization report (index == ServerId).
+  void observe(sim::SimTime now, const std::vector<double>& utilizations);
+
+  /// Feeds utilizations plus queue lengths (for the queue threshold).
+  void observe_full(sim::SimTime now, const std::vector<double>& utilizations,
+                    const std::vector<std::size_t>& queue_lengths);
+
+  bool is_alarmed(web::ServerId s) const { return alarmed_.at(static_cast<std::size_t>(s)); }
+
+  /// True for servers eligible to receive new mappings. If every server is
+  /// alarmed the DNS must still answer, so all become eligible again.
+  const std::vector<bool>& eligible() const { return eligible_; }
+
+  double threshold() const { return threshold_; }
+  std::size_t queue_threshold() const { return queue_threshold_; }
+  bool enabled() const { return enabled_; }
+
+  /// Signal traffic counters (alarm + normal transitions), a proxy for the
+  /// feedback overhead the paper argues is low.
+  std::uint64_t alarm_signals() const { return alarm_signals_; }
+  std::uint64_t normal_signals() const { return normal_signals_; }
+
+ private:
+  void rebuild_eligible();
+
+  double threshold_;
+  std::size_t queue_threshold_;
+  bool enabled_;
+  std::vector<bool> alarmed_;
+  std::vector<bool> eligible_;
+  std::uint64_t alarm_signals_ = 0;
+  std::uint64_t normal_signals_ = 0;
+};
+
+}  // namespace adattl::core

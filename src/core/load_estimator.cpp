@@ -1,0 +1,73 @@
+#include "core/load_estimator.h"
+
+#include <stdexcept>
+
+namespace adattl::core {
+
+LoadEstimator::LoadEstimator(DomainModel& model, bool oracle)
+    : model_(model), oracle_(oracle) {}
+
+void LoadEstimator::observe(const std::vector<std::uint64_t>& hits_per_domain,
+                            double window_sec) {
+  if (oracle_) return;
+  if (hits_per_domain.size() != static_cast<std::size_t>(model_.num_domains())) {
+    throw std::invalid_argument("LoadEstimator: domain count mismatch");
+  }
+  if (window_sec <= 0) throw std::invalid_argument("LoadEstimator: bad window");
+
+  std::vector<double> rates(hits_per_domain.size());
+  bool any = false;
+  for (std::size_t d = 0; d < rates.size(); ++d) {
+    rates[d] = static_cast<double>(hits_per_domain[d]) / window_sec;
+    any = any || rates[d] > 0.0;
+  }
+  ++windows_;
+  if (!any) return;  // empty window: keep the previous weights
+
+  std::vector<double> weights = incorporate(rates);
+  if (!weights.empty()) model_.update_weights(std::move(weights));
+}
+
+EwmaLoadEstimator::EwmaLoadEstimator(DomainModel& model, double smoothing, bool oracle)
+    : LoadEstimator(model, oracle),
+      smoothing_(smoothing),
+      rates_(static_cast<std::size_t>(model.num_domains()), 0.0) {
+  if (smoothing <= 0.0 || smoothing > 1.0) {
+    throw std::invalid_argument("EwmaLoadEstimator: smoothing must lie in (0, 1]");
+  }
+}
+
+std::vector<double> EwmaLoadEstimator::incorporate(const std::vector<double>& rates) {
+  for (std::size_t d = 0; d < rates_.size(); ++d) {
+    // The first non-empty window seeds the estimate outright.
+    rates_[d] = seeded_ ? smoothing_ * rates[d] + (1.0 - smoothing_) * rates_[d] : rates[d];
+  }
+  seeded_ = true;
+  return rates_;
+}
+
+SlidingWindowLoadEstimator::SlidingWindowLoadEstimator(DomainModel& model, int window_count,
+                                                       bool oracle)
+    : LoadEstimator(model, oracle),
+      window_count_(window_count),
+      sums_(static_cast<std::size_t>(model.num_domains()), 0.0) {
+  if (window_count < 1) {
+    throw std::invalid_argument("SlidingWindowLoadEstimator: need >= 1 window");
+  }
+}
+
+std::vector<double> SlidingWindowLoadEstimator::incorporate(const std::vector<double>& rates) {
+  history_.push_back(rates);
+  for (std::size_t d = 0; d < sums_.size(); ++d) sums_[d] += rates[d];
+  if (static_cast<int>(history_.size()) > window_count_) {
+    for (std::size_t d = 0; d < sums_.size(); ++d) sums_[d] -= history_.front()[d];
+    history_.pop_front();
+  }
+  std::vector<double> avg(sums_.size());
+  for (std::size_t d = 0; d < sums_.size(); ++d) {
+    avg[d] = sums_[d] / static_cast<double>(history_.size());
+  }
+  return avg;
+}
+
+}  // namespace adattl::core

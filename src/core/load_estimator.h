@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/domain_model.h"
+
+namespace adattl::core {
+
+/// Online estimator of per-domain hidden load weights (paper §3.1: "the
+/// servers keep track of the number of incoming requests from each domain
+/// and the DNS periodically collects the information"; the companion
+/// report [3] studies estimator design in depth).
+///
+/// Each collection window the experiment drains every server's per-domain
+/// hit counters, sums them, and feeds the totals here; the estimator turns
+/// them into a weight vector and pushes it into the DomainModel (which in
+/// turn triggers TTL recalibration).
+///
+/// With `oracle` mode the estimator is inert and the DomainModel keeps its
+/// configured weights — the controlled setting used by the paper's
+/// estimation-error study, where the workload is perturbed while "the DNS
+/// estimates of the hidden load weight remain the same as before".
+class LoadEstimator {
+ public:
+  LoadEstimator(DomainModel& model, bool oracle);
+  virtual ~LoadEstimator() = default;
+
+  /// Feeds one collection window: total hits per domain over `window_sec`.
+  /// No-op in oracle mode. A window with zero traffic everywhere carries
+  /// no ranking information and leaves the model untouched.
+  void observe(const std::vector<std::uint64_t>& hits_per_domain, double window_sec);
+
+  bool oracle() const { return oracle_; }
+  int windows_observed() const { return windows_; }
+
+ protected:
+  /// Blends the newest observed rates into the running estimate; returns
+  /// the weight vector to install (empty = keep the previous weights).
+  virtual std::vector<double> incorporate(const std::vector<double>& rates) = 0;
+
+  int num_domains() const { return model_.num_domains(); }
+
+ private:
+  DomainModel& model_;
+  bool oracle_;
+  int windows_ = 0;
+};
+
+/// Exponentially-weighted moving average: cheap, memoryless, reacts to
+/// shifts within ~1/smoothing windows. The library default.
+class EwmaLoadEstimator : public LoadEstimator {
+ public:
+  /// `smoothing` ∈ (0, 1]: weight of the newest window (1 = no memory).
+  EwmaLoadEstimator(DomainModel& model, double smoothing, bool oracle = false);
+
+  const std::vector<double>& current_rates() const { return rates_; }
+
+ protected:
+  std::vector<double> incorporate(const std::vector<double>& rates) override;
+
+ private:
+  double smoothing_;
+  std::vector<double> rates_;
+  bool seeded_ = false;
+};
+
+/// Plain moving average over the last `window_count` collection windows:
+/// smoother than EWMA under bursty traffic, slower to track shifts, and
+/// O(window_count) memory.
+class SlidingWindowLoadEstimator : public LoadEstimator {
+ public:
+  SlidingWindowLoadEstimator(DomainModel& model, int window_count, bool oracle = false);
+
+ protected:
+  std::vector<double> incorporate(const std::vector<double>& rates) override;
+
+ private:
+  int window_count_;
+  std::deque<std::vector<double>> history_;
+  std::vector<double> sums_;
+};
+
+}  // namespace adattl::core

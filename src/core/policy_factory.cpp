@@ -1,0 +1,236 @@
+#include "core/policy_factory.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/dal_policy.h"
+#include "core/mrl_policy.h"
+#include "core/proximity_policy.h"
+#include "core/selection_policies.h"
+#include "core/ttl_policy.h"
+
+namespace adattl::core {
+namespace {
+
+std::string selection_token(const PolicySpec& spec) {
+  switch (spec.selection) {
+    case SelectionKind::kRR:
+      return "RR";
+    case SelectionKind::kRR2:
+      return "RR2";
+    case SelectionKind::kRRn:
+      return spec.selection_tiers == kPerDomainClasses
+                 ? "RRK"
+                 : "RR" + std::to_string(spec.selection_tiers);
+    case SelectionKind::kPRR:
+      return "PRR";
+    case SelectionKind::kPRR2:
+      return "PRR2";
+    case SelectionKind::kWRR:
+      return "WRR";
+    case SelectionKind::kDAL:
+      return "DAL";
+    case SelectionKind::kMRL:
+      return "MRL";
+    case SelectionKind::kGEO:
+      return "GEO";
+  }
+  throw std::logic_error("unknown selection kind");
+}
+
+/// Fills spec.selection (+tiers); returns true for the DRR/DRR2 aliases.
+bool parse_selection(const std::string& tok, PolicySpec* spec) {
+  if (tok == "RR") {
+    spec->selection = SelectionKind::kRR;
+    return false;
+  }
+  if (tok == "RR2") {
+    spec->selection = SelectionKind::kRR2;
+    return false;
+  }
+  if (tok == "RRK") {
+    spec->selection = SelectionKind::kRRn;
+    spec->selection_tiers = kPerDomainClasses;
+    return false;
+  }
+  // "RR<n>" for n >= 3: the multi-tier extension.
+  if (tok.size() > 2 && tok.rfind("RR", 0) == 0 &&
+      tok.find_first_not_of("0123456789", 2) == std::string::npos) {
+    const int tiers = std::stoi(tok.substr(2));
+    if (tiers < 3) throw std::invalid_argument("'" + tok + "': multi-tier RR needs >= 3 tiers");
+    spec->selection = SelectionKind::kRRn;
+    spec->selection_tiers = tiers;
+    return false;
+  }
+  if (tok == "PRR") {
+    spec->selection = SelectionKind::kPRR;
+    return false;
+  }
+  if (tok == "PRR2") {
+    spec->selection = SelectionKind::kPRR2;
+    return false;
+  }
+  if (tok == "WRR") {
+    spec->selection = SelectionKind::kWRR;
+    return false;
+  }
+  if (tok == "DAL") {
+    spec->selection = SelectionKind::kDAL;
+    return false;
+  }
+  if (tok == "MRL") {
+    spec->selection = SelectionKind::kMRL;
+    return false;
+  }
+  if (tok == "GEO") {
+    spec->selection = SelectionKind::kGEO;
+    return false;
+  }
+  // The paper writes DRR/DRR2 for "RR/RR2 combined with deterministic
+  // (server-aware) adaptive TTL" — same selection rule, different TTL.
+  if (tok == "DRR") {
+    spec->selection = SelectionKind::kRR;
+    return true;
+  }
+  if (tok == "DRR2") {
+    spec->selection = SelectionKind::kRR2;
+    return true;
+  }
+  throw std::invalid_argument("unknown selection policy: '" + tok + "'");
+}
+
+}  // namespace
+
+std::string PolicySpec::canonical_name() const {
+  // The deterministic family is spelled DRR/DRR2 in the paper.
+  std::string sel = selection_token(*this);
+  if (server_ttl_term && (selection == SelectionKind::kRR || selection == SelectionKind::kRR2)) {
+    sel = (selection == SelectionKind::kRR) ? "DRR" : "DRR2";
+  }
+  if (ttl_classes == 0) return sel;
+  std::string ttl = server_ttl_term ? "TTL/S_" : "TTL/";
+  ttl += (ttl_classes == kPerDomainClasses) ? "K" : std::to_string(ttl_classes);
+  return sel + "-" + ttl;
+}
+
+PolicySpec parse_policy_name(const std::string& name) {
+  PolicySpec spec;
+  const auto dash = name.find("-TTL/");
+
+  const std::string sel_tok = name.substr(0, dash);
+  const bool deterministic_alias = parse_selection(sel_tok, &spec);
+
+  if (dash == std::string::npos) {
+    if (deterministic_alias) {
+      throw std::invalid_argument("'" + name + "': DRR/DRR2 require a TTL/S_* suffix");
+    }
+    spec.ttl_classes = 0;  // constant TTL
+    return spec;
+  }
+
+  std::string ttl_tok = name.substr(dash + 5);  // after "-TTL/"
+  if (ttl_tok.rfind("S_", 0) == 0) {
+    spec.server_ttl_term = true;
+    ttl_tok = ttl_tok.substr(2);
+  }
+  if (deterministic_alias && !spec.server_ttl_term) {
+    throw std::invalid_argument("'" + name + "': the deterministic family uses TTL/S_* policies");
+  }
+  if (ttl_tok == "K") {
+    spec.ttl_classes = kPerDomainClasses;
+  } else {
+    std::size_t pos = 0;
+    int classes = 0;
+    try {
+      classes = std::stoi(ttl_tok, &pos);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("'" + name + "': bad TTL class count");
+    }
+    if (pos != ttl_tok.size() || classes < 1) {
+      throw std::invalid_argument("'" + name + "': bad TTL class count");
+    }
+    spec.ttl_classes = classes;
+  }
+  return spec;
+}
+
+std::vector<std::string> paper_policy_names() {
+  return {
+      "RR",           "RR2",           "DAL",
+      "PRR-TTL/1",    "PRR-TTL/2",     "PRR-TTL/K",
+      "PRR2-TTL/1",   "PRR2-TTL/2",    "PRR2-TTL/K",
+      "DRR-TTL/S_1",  "DRR-TTL/S_2",   "DRR-TTL/S_K",
+      "DRR2-TTL/S_1", "DRR2-TTL/S_2",  "DRR2-TTL/S_K",
+  };
+}
+
+SchedulerBundle make_scheduler(const std::string& name, const SchedulerFactoryConfig& config,
+                               const AlarmRegistry& alarms, sim::Simulator& sim,
+                               sim::RngStream& rng) {
+  const PolicySpec spec = parse_policy_name(name);
+  if (config.capacities.empty()) throw std::invalid_argument("make_scheduler: no servers");
+  if (config.initial_weights.empty()) throw std::invalid_argument("make_scheduler: no domains");
+
+  SchedulerBundle bundle;
+  bundle.domains =
+      std::make_unique<DomainModel>(config.initial_weights, config.class_threshold);
+
+  const double c1 = *std::max_element(config.capacities.begin(), config.capacities.end());
+  std::vector<double> alpha(config.capacities.size());
+  for (std::size_t i = 0; i < alpha.size(); ++i) alpha[i] = config.capacities[i] / c1;
+
+  std::unique_ptr<SelectionPolicy> selection;
+  const int n = static_cast<int>(config.capacities.size());
+  switch (spec.selection) {
+    case SelectionKind::kRR:
+      selection = std::make_unique<RoundRobinPolicy>(n);
+      break;
+    case SelectionKind::kRR2:
+      selection = std::make_unique<TwoTierRoundRobinPolicy>(n, *bundle.domains);
+      break;
+    case SelectionKind::kRRn:
+      selection = std::make_unique<MultiTierRoundRobinPolicy>(n, *bundle.domains,
+                                                              spec.selection_tiers);
+      break;
+    case SelectionKind::kPRR:
+      selection = std::make_unique<ProbabilisticRoundRobinPolicy>(alpha, rng.split());
+      break;
+    case SelectionKind::kPRR2:
+      selection =
+          std::make_unique<ProbabilisticTwoTierPolicy>(alpha, *bundle.domains, rng.split());
+      break;
+    case SelectionKind::kWRR:
+      selection = std::make_unique<WeightedRoundRobinPolicy>(config.capacities);
+      break;
+    case SelectionKind::kDAL:
+      selection = std::make_unique<DalPolicy>(sim, *bundle.domains, config.capacities);
+      break;
+    case SelectionKind::kMRL:
+      selection = std::make_unique<MrlPolicy>(sim, *bundle.domains, config.capacities);
+      break;
+    case SelectionKind::kGEO:
+      if (!config.geo) {
+        throw std::invalid_argument("make_scheduler: 'GEO' needs a geo model in the config");
+      }
+      selection = std::make_unique<ProximityPolicy>(config.geo, config.capacities);
+      break;
+  }
+
+  std::unique_ptr<TtlPolicy> ttl;
+  if (spec.ttl_classes == 0) {
+    ttl = std::make_unique<ConstantTtlPolicy>(config.reference_ttl);
+  } else {
+    auto adaptive = std::make_unique<AdaptiveTtlPolicy>(
+        *bundle.domains, config.capacities, spec.ttl_classes, spec.server_ttl_term,
+        selection->stationary_shares(), config.reference_ttl, config.calibrate_ttl);
+    // Weight updates from the estimator flow model → policy automatically.
+    bundle.domains->subscribe([p = adaptive.get()] { p->recalibrate(); });
+    ttl = std::move(adaptive);
+  }
+
+  bundle.scheduler = std::make_unique<DnsScheduler>(spec.canonical_name(), std::move(selection),
+                                                    std::move(ttl), alarms);
+  return bundle;
+}
+
+}  // namespace adattl::core

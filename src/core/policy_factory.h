@@ -1,0 +1,76 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/alarm_registry.h"
+#include "core/domain_model.h"
+#include "core/scheduler.h"
+#include "geo/geo_model.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace adattl::core {
+
+/// Which server-selection rule a composite algorithm uses.
+enum class SelectionKind { kRR, kRR2, kRRn, kPRR, kPRR2, kWRR, kDAL, kMRL, kGEO };
+
+/// Parsed form of an algorithm name such as "DRR2-TTL/S_K".
+struct PolicySpec {
+  SelectionKind selection = SelectionKind::kRR;
+  /// For kRRn: number of round-robin tiers (>= 3, or kPerDomainClasses for
+  /// "RRK" — one pointer per domain). Unused otherwise.
+  int selection_tiers = 0;
+  /// 0 = constant reference TTL (no adaptive policy); otherwise the class
+  /// count (1, 2, ..., or kPerDomainClasses for "K").
+  int ttl_classes = 0;
+  /// True for the deterministic TTL/S_i family (TTL scales with the chosen
+  /// server's capacity).
+  bool server_ttl_term = false;
+
+  std::string canonical_name() const;
+};
+
+/// Parses the paper's algorithm naming scheme. Accepted forms:
+///   "RR", "RR2", "DAL", "MRL"                — constant 240 s TTL;
+///   "RR3".."RR9", "RRK", "WRR"               — extension baselines;
+///   "GEO"                                    — proximity-first selection
+///                                              (requires config.geo);
+///   "PRR-TTL/1|2|K", "PRR2-TTL/1|2|K"        — probabilistic family;
+///   "DRR-TTL/S_1|S_2|S_K", "DRR2-TTL/S_..."  — deterministic family;
+/// plus the free combinations used by ablations (any selection with any
+/// TTL/i or TTL/S_i, e.g. "RR2-TTL/3"). Throws std::invalid_argument on
+/// anything else.
+PolicySpec parse_policy_name(const std::string& name);
+
+/// The 15 algorithm names evaluated in the paper's figures
+/// (RR, RR2, DAL, 6 probabilistic, 6 deterministic).
+std::vector<std::string> paper_policy_names();
+
+/// Everything needed to build a scheduler.
+struct SchedulerFactoryConfig {
+  std::vector<double> capacities;       ///< absolute C_i, index == ServerId
+  std::vector<double> initial_weights;  ///< hidden load weights, index == DomainId
+  double class_threshold = 0.05;        ///< γ (paper default 1/K)
+  double reference_ttl = 240.0;         ///< constant-TTL baseline for calibration
+  bool calibrate_ttl = true;            ///< address-rate fairness normalization
+  /// Network geography; required by the "GEO" policy, ignored otherwise.
+  std::shared_ptr<const geo::GeoModel> geo;
+};
+
+/// A scheduler plus the domain model it reads; the model is exposed so the
+/// estimator can update weights (the TTL policy auto-recalibrates via the
+/// model's change notification).
+struct SchedulerBundle {
+  std::unique_ptr<DomainModel> domains;
+  std::unique_ptr<DnsScheduler> scheduler;
+};
+
+/// Builds the named algorithm. `sim` backs DAL's decay timers; `rng` seeds
+/// the probabilistic policies (one child stream per scheduler).
+SchedulerBundle make_scheduler(const std::string& name, const SchedulerFactoryConfig& config,
+                               const AlarmRegistry& alarms, sim::Simulator& sim,
+                               sim::RngStream& rng);
+
+}  // namespace adattl::core

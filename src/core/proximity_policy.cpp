@@ -1,0 +1,77 @@
+#include "core/proximity_policy.h"
+
+#include <stdexcept>
+
+namespace adattl::core {
+
+ProximityPolicy::ProximityPolicy(std::shared_ptr<const geo::GeoModel> geo,
+                                 std::vector<double> capacities)
+    : geo_(std::move(geo)), capacities_(std::move(capacities)) {
+  if (!geo_) throw std::invalid_argument("ProximityPolicy: missing geo model");
+  if (capacities_.empty()) throw std::invalid_argument("ProximityPolicy: need servers");
+  if (geo_->num_servers() != static_cast<int>(capacities_.size())) {
+    throw std::invalid_argument("ProximityPolicy: geo/capacity server count mismatch");
+  }
+  for (double c : capacities_) {
+    if (c <= 0) throw std::invalid_argument("ProximityPolicy: capacities must be > 0");
+    total_capacity_ += c;
+  }
+  all_allowed_.assign(capacities_.size(), true);
+
+  const int k = geo_->num_domains();
+  near_mask_.resize(static_cast<std::size_t>(k),
+                    std::vector<bool>(capacities_.size(), false));
+  near_credit_.resize(static_cast<std::size_t>(k),
+                      std::vector<double>(capacities_.size(), 0.0));
+  for (int d = 0; d < k; ++d) {
+    for (web::ServerId s : geo_->nearest_servers(d)) {
+      near_mask_[static_cast<std::size_t>(d)][static_cast<std::size_t>(s)] = true;
+    }
+  }
+  global_credit_.assign(capacities_.size(), 0.0);
+}
+
+web::ServerId ProximityPolicy::weighted_pick(std::vector<double>& credit,
+                                             const std::vector<bool>& allowed,
+                                             const std::vector<bool>& eligible) {
+  // Smooth WRR over the active subset: only active servers earn credit
+  // this round, and the winner pays back the round's total, so credits
+  // stay bounded and shares are capacity-proportional within the subset.
+  double round_total = 0.0;
+  int best = -1;
+  for (std::size_t i = 0; i < capacities_.size(); ++i) {
+    if (!allowed[i] || !eligible[i]) continue;
+    credit[i] += capacities_[i];
+    round_total += capacities_[i];
+    if (best < 0 || credit[i] > credit[static_cast<std::size_t>(best)]) {
+      best = static_cast<int>(i);
+    }
+  }
+  if (best >= 0) credit[static_cast<std::size_t>(best)] -= round_total;
+  return best;
+}
+
+web::ServerId ProximityPolicy::select(web::DomainId domain,
+                                      const std::vector<bool>& eligible) {
+  const auto d = static_cast<std::size_t>(domain);
+  if (d >= near_mask_.size()) throw std::out_of_range("ProximityPolicy: unknown domain");
+  // Prefer the domain's nearest servers...
+  const web::ServerId local = weighted_pick(near_credit_[d], near_mask_[d], eligible);
+  if (local >= 0) return local;
+  // ...but availability beats latency: fall back to any eligible server.
+  const web::ServerId any = weighted_pick(global_credit_, all_allowed_, eligible);
+  if (any < 0) throw std::logic_error("ProximityPolicy: no eligible server");
+  return any;
+}
+
+std::vector<double> ProximityPolicy::stationary_shares() const {
+  // Approximation for TTL calibration: capacity-proportional (exact when
+  // regional load matches regional capacity).
+  std::vector<double> shares(capacities_.size());
+  for (std::size_t i = 0; i < capacities_.size(); ++i) {
+    shares[i] = capacities_[i] / total_capacity_;
+  }
+  return shares;
+}
+
+}  // namespace adattl::core

@@ -1,0 +1,30 @@
+#include "core/scheduler.h"
+
+#include <stdexcept>
+
+namespace adattl::core {
+
+DnsScheduler::DnsScheduler(std::string name, std::unique_ptr<SelectionPolicy> selection,
+                           std::unique_ptr<TtlPolicy> ttl, const AlarmRegistry& alarms)
+    : name_(std::move(name)),
+      selection_(std::move(selection)),
+      ttl_(std::move(ttl)),
+      alarms_(alarms),
+      assignments_(alarms.eligible().size(), 0) {
+  if (!selection_ || !ttl_) throw std::invalid_argument("DnsScheduler: missing policy");
+}
+
+Decision DnsScheduler::schedule(web::DomainId domain) {
+  const web::ServerId server = selection_->select(domain, alarms_.eligible());
+  const double ttl = ttl_->ttl(domain, server);
+  selection_->on_assign(domain, server, ttl);
+
+  ++decisions_;
+  assignments_.at(static_cast<std::size_t>(server))++;
+  ttl_stat_.add(ttl);
+  const Decision decision{server, ttl};
+  if (hook_) hook_(domain, decision);
+  return decision;
+}
+
+}  // namespace adattl::core

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/alarm_registry.h"
+#include "core/selection_policy.h"
+#include "core/ttl_policy.h"
+#include "sim/stats.h"
+
+namespace adattl::core {
+
+/// What the authoritative DNS returns for one address request: the chosen
+/// server's address and the validity period of the mapping.
+struct Decision {
+  web::ServerId server = 0;
+  double ttl_sec = 0.0;
+};
+
+/// The authoritative DNS scheduler: selection policy + TTL policy +
+/// alarm-based exclusion, with bookkeeping of every decision it makes.
+///
+/// This is the paper's composite algorithm; e.g. DRR2-TTL/S_K is
+/// TwoTierRoundRobinPolicy + AdaptiveTtlPolicy(per-domain classes, server
+/// term on).
+class DnsScheduler {
+ public:
+  DnsScheduler(std::string name, std::unique_ptr<SelectionPolicy> selection,
+               std::unique_ptr<TtlPolicy> ttl, const AlarmRegistry& alarms);
+
+  /// Answers one address request from `domain`.
+  Decision schedule(web::DomainId domain);
+
+  /// Observation hook invoked after every decision (e.g. a decision log).
+  /// The scheduler itself is clock-free; observers stamp times themselves.
+  void set_decision_hook(std::function<void(web::DomainId, const Decision&)> hook) {
+    hook_ = std::move(hook);
+  }
+
+  const std::string& name() const { return name_; }
+  const SelectionPolicy& selection() const { return *selection_; }
+  const TtlPolicy& ttl_policy() const { return *ttl_; }
+
+  std::uint64_t decisions() const { return decisions_; }
+  /// Mappings handed to each server so far (index == ServerId).
+  const std::vector<std::uint64_t>& assignments() const { return assignments_; }
+  /// Distribution of TTL values handed out.
+  const sim::RunningStat& ttl_stat() const { return ttl_stat_; }
+
+ private:
+  std::string name_;
+  std::unique_ptr<SelectionPolicy> selection_;
+  std::unique_ptr<TtlPolicy> ttl_;
+  const AlarmRegistry& alarms_;
+
+  std::uint64_t decisions_ = 0;
+  std::vector<std::uint64_t> assignments_;
+  sim::RunningStat ttl_stat_;
+  std::function<void(web::DomainId, const Decision&)> hook_;
+};
+
+}  // namespace adattl::core

@@ -1,0 +1,181 @@
+#include "core/selection_policies.h"
+
+#include <stdexcept>
+
+namespace adattl::core {
+namespace {
+
+/// Next eligible server after `last` in cyclic order. The eligibility mask
+/// always contains at least one true entry (AlarmRegistry invariant).
+int next_eligible(int num_servers, int last, const std::vector<bool>& eligible) {
+  for (int step = 1; step <= num_servers; ++step) {
+    const int cand = (last + step + num_servers) % num_servers;
+    if (eligible[static_cast<std::size_t>(cand)]) return cand;
+  }
+  throw std::logic_error("selection: no eligible server (AlarmRegistry invariant broken)");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- RR
+
+RoundRobinPolicy::RoundRobinPolicy(int num_servers) : num_servers_(num_servers) {
+  if (num_servers <= 0) throw std::invalid_argument("RR: need >= 1 server");
+}
+
+web::ServerId RoundRobinPolicy::select(web::DomainId /*domain*/,
+                                       const std::vector<bool>& eligible) {
+  last_ = next_eligible(num_servers_, last_, eligible);
+  return last_;
+}
+
+std::vector<double> RoundRobinPolicy::stationary_shares() const {
+  return std::vector<double>(static_cast<std::size_t>(num_servers_), 1.0 / num_servers_);
+}
+
+// ---------------------------------------------------------------- RR2
+
+TwoTierRoundRobinPolicy::TwoTierRoundRobinPolicy(int num_servers, const DomainModel& domains)
+    : num_servers_(num_servers), domains_(domains) {
+  if (num_servers <= 0) throw std::invalid_argument("RR2: need >= 1 server");
+}
+
+web::ServerId TwoTierRoundRobinPolicy::select(web::DomainId domain,
+                                              const std::vector<bool>& eligible) {
+  int& last = domains_.is_hot(domain) ? last_hot_ : last_normal_;
+  last = next_eligible(num_servers_, last, eligible);
+  return last;
+}
+
+std::vector<double> TwoTierRoundRobinPolicy::stationary_shares() const {
+  return std::vector<double>(static_cast<std::size_t>(num_servers_), 1.0 / num_servers_);
+}
+
+// ---------------------------------------------------------------- RRn
+
+MultiTierRoundRobinPolicy::MultiTierRoundRobinPolicy(int num_servers,
+                                                     const DomainModel& domains,
+                                                     int num_tiers)
+    : num_servers_(num_servers), domains_(domains), num_tiers_(num_tiers) {
+  if (num_servers <= 0) throw std::invalid_argument("RRn: need >= 1 server");
+  if (num_tiers != kPerDomainClasses && num_tiers < 1) {
+    throw std::invalid_argument("RRn: bad tier count");
+  }
+}
+
+web::ServerId MultiTierRoundRobinPolicy::select(web::DomainId domain,
+                                                const std::vector<bool>& eligible) {
+  // Re-derive the class each time: the partition tracks live weight updates.
+  const std::vector<int> cls = domains_.partition(num_tiers_);
+  const int tier = cls.at(static_cast<std::size_t>(domain));
+  if (static_cast<std::size_t>(tier) >= last_.size()) {
+    last_.resize(static_cast<std::size_t>(tier) + 1, -1);
+  }
+  int& last = last_[static_cast<std::size_t>(tier)];
+  last = next_eligible(num_servers_, last, eligible);
+  return last;
+}
+
+std::vector<double> MultiTierRoundRobinPolicy::stationary_shares() const {
+  return std::vector<double>(static_cast<std::size_t>(num_servers_), 1.0 / num_servers_);
+}
+
+std::string MultiTierRoundRobinPolicy::name() const {
+  if (num_tiers_ == kPerDomainClasses) return "RRK";
+  return "RR" + std::to_string(num_tiers_);
+}
+
+// ---------------------------------------------------------------- WRR
+
+WeightedRoundRobinPolicy::WeightedRoundRobinPolicy(std::vector<double> weights)
+    : weights_(std::move(weights)), credit_(weights_.size(), 0.0) {
+  if (weights_.empty()) throw std::invalid_argument("WRR: need >= 1 server");
+  for (double w : weights_) {
+    if (w <= 0) throw std::invalid_argument("WRR: weights must be > 0");
+    total_weight_ += w;
+  }
+}
+
+web::ServerId WeightedRoundRobinPolicy::select(web::DomainId /*domain*/,
+                                               const std::vector<bool>& eligible) {
+  int best = -1;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    credit_[i] += weights_[i];
+    if (!eligible[i]) continue;
+    if (best < 0 || credit_[i] > credit_[static_cast<std::size_t>(best)]) {
+      best = static_cast<int>(i);
+    }
+  }
+  if (best < 0) throw std::logic_error("WRR: no eligible server");
+  credit_[static_cast<std::size_t>(best)] -= total_weight_;
+  return best;
+}
+
+std::vector<double> WeightedRoundRobinPolicy::stationary_shares() const {
+  std::vector<double> shares(weights_.size());
+  for (std::size_t i = 0; i < weights_.size(); ++i) shares[i] = weights_[i] / total_weight_;
+  return shares;
+}
+
+// ---------------------------------------------------------------- PRR
+
+ProbabilisticRoundRobinPolicy::ProbabilisticRoundRobinPolicy(
+    std::vector<double> relative_capacities, sim::RngStream rng)
+    : alpha_(std::move(relative_capacities)), rng_(rng) {
+  if (alpha_.empty()) throw std::invalid_argument("PRR: need >= 1 server");
+  for (double a : alpha_) {
+    if (a <= 0.0 || a > 1.0) throw std::invalid_argument("PRR: alphas must lie in (0, 1]");
+  }
+}
+
+web::ServerId ProbabilisticRoundRobinPolicy::advance(int& last,
+                                                     const std::vector<bool>& eligible) {
+  const int n = static_cast<int>(alpha_.size());
+  // Acceptance probability is positive for every server, so this loop
+  // terminates with probability one; the bound is a defensive backstop
+  // that falls through to plain next-eligible.
+  for (int step = 1; step <= 64 * n; ++step) {
+    const int cand = (last + step + n) % n;
+    if (!eligible[static_cast<std::size_t>(cand)]) continue;
+    if (rng_.bernoulli(alpha_[static_cast<std::size_t>(cand)])) {
+      last = cand;
+      return cand;
+    }
+  }
+  last = next_eligible(n, last, eligible);
+  return last;
+}
+
+web::ServerId ProbabilisticRoundRobinPolicy::select(web::DomainId /*domain*/,
+                                                    const std::vector<bool>& eligible) {
+  return advance(last_, eligible);
+}
+
+std::vector<double> ProbabilisticRoundRobinPolicy::stationary_shares() const {
+  // One full cycle of the pointer visits every server once and accepts
+  // S_i with probability α_i, so long-run shares are α_i / Σα.
+  double sum = 0.0;
+  for (double a : alpha_) sum += a;
+  std::vector<double> shares(alpha_.size());
+  for (std::size_t i = 0; i < alpha_.size(); ++i) shares[i] = alpha_[i] / sum;
+  return shares;
+}
+
+// ---------------------------------------------------------------- PRR2
+
+ProbabilisticTwoTierPolicy::ProbabilisticTwoTierPolicy(std::vector<double> relative_capacities,
+                                                       const DomainModel& domains,
+                                                       sim::RngStream rng)
+    : inner_(std::move(relative_capacities), rng), domains_(domains) {}
+
+web::ServerId ProbabilisticTwoTierPolicy::select(web::DomainId domain,
+                                                 const std::vector<bool>& eligible) {
+  int& last = domains_.is_hot(domain) ? last_hot_ : last_normal_;
+  return inner_.advance(last, eligible);
+}
+
+std::vector<double> ProbabilisticTwoTierPolicy::stationary_shares() const {
+  return inner_.stationary_shares();
+}
+
+}  // namespace adattl::core

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <memory>
+
+#include "core/domain_model.h"
+#include "core/selection_policy.h"
+#include "sim/random.h"
+
+namespace adattl::core {
+
+/// Plain round robin (the NCSA scheme): cycles one pointer over all
+/// servers, skipping alarmed ones.
+class RoundRobinPolicy : public SelectionPolicy {
+ public:
+  explicit RoundRobinPolicy(int num_servers);
+
+  web::ServerId select(web::DomainId domain, const std::vector<bool>& eligible) override;
+  std::vector<double> stationary_shares() const override;
+  std::string name() const override { return "RR"; }
+
+ private:
+  int num_servers_;
+  int last_ = -1;
+};
+
+/// Two-tier round robin (RR2, from ICDCS'97 [4]): hot domains (share > γ)
+/// and normal domains each cycle their own pointer, so a burst of hot-
+/// domain mappings cannot land on consecutive occasions on the same server
+/// that normal domains also concentrate on.
+class TwoTierRoundRobinPolicy : public SelectionPolicy {
+ public:
+  TwoTierRoundRobinPolicy(int num_servers, const DomainModel& domains);
+
+  web::ServerId select(web::DomainId domain, const std::vector<bool>& eligible) override;
+  std::vector<double> stationary_shares() const override;
+  std::string name() const override { return "RR2"; }
+
+ private:
+  int num_servers_;
+  const DomainModel& domains_;
+  int last_hot_ = -1;
+  int last_normal_ = -1;
+};
+
+/// N-tier round robin: the natural generalization of RR2 (extension beyond
+/// the paper, which stops at two tiers). Domains are partitioned into
+/// `num_tiers` classes by hidden load weight (DomainModel::partition) and
+/// each class cycles its own round-robin pointer, so same-class bursts
+/// spread while classes stay decoupled. RR2 == MultiTierRoundRobinPolicy
+/// with 2 tiers and the γ rule; kPerDomainClasses gives one pointer per
+/// domain.
+class MultiTierRoundRobinPolicy : public SelectionPolicy {
+ public:
+  MultiTierRoundRobinPolicy(int num_servers, const DomainModel& domains, int num_tiers);
+
+  web::ServerId select(web::DomainId domain, const std::vector<bool>& eligible) override;
+  std::vector<double> stationary_shares() const override;
+  std::string name() const override;
+
+ private:
+  int num_servers_;
+  const DomainModel& domains_;
+  int num_tiers_;
+  std::vector<int> last_;  // one pointer per tier, grown on demand
+};
+
+/// Smooth weighted round robin (WRR — extension baseline): the classic
+/// deterministic capacity-proportional interleaving (as popularized by
+/// nginx). Per decision every server's credit grows by its weight; the
+/// highest-credit eligible server is chosen and pays back the total
+/// weight. Exact capacity-proportional shares with zero randomness —
+/// PRR's deterministic cousin, useful to separate "capacity awareness"
+/// from "randomized tie-breaking" in comparisons.
+class WeightedRoundRobinPolicy : public SelectionPolicy {
+ public:
+  explicit WeightedRoundRobinPolicy(std::vector<double> weights);
+
+  web::ServerId select(web::DomainId domain, const std::vector<bool>& eligible) override;
+  std::vector<double> stationary_shares() const override;
+  std::string name() const override { return "WRR"; }
+
+ private:
+  std::vector<double> weights_;
+  std::vector<double> credit_;
+  double total_weight_ = 0.0;
+};
+
+/// Probabilistic round robin (PRR, §3.1): advancing cyclically from the
+/// last chosen server, candidate S_i is accepted with probability
+/// α_i = C_i / C_1, otherwise skipped. Long-run shares are proportional to
+/// server capacity, which is how the probabilistic family absorbs
+/// heterogeneity.
+class ProbabilisticRoundRobinPolicy : public SelectionPolicy {
+ public:
+  ProbabilisticRoundRobinPolicy(std::vector<double> relative_capacities, sim::RngStream rng);
+
+  web::ServerId select(web::DomainId domain, const std::vector<bool>& eligible) override;
+  std::vector<double> stationary_shares() const override;
+  std::string name() const override { return "PRR"; }
+
+ private:
+  friend class ProbabilisticTwoTierPolicy;
+  web::ServerId advance(int& last, const std::vector<bool>& eligible);
+
+  std::vector<double> alpha_;
+  sim::RngStream rng_;
+  int last_ = -1;
+};
+
+/// PRR2: the two-tier pointer structure of RR2 with PRR's capacity-
+/// probabilistic skipping.
+class ProbabilisticTwoTierPolicy : public SelectionPolicy {
+ public:
+  ProbabilisticTwoTierPolicy(std::vector<double> relative_capacities, const DomainModel& domains,
+                             sim::RngStream rng);
+
+  web::ServerId select(web::DomainId domain, const std::vector<bool>& eligible) override;
+  std::vector<double> stationary_shares() const override;
+  std::string name() const override { return "PRR2"; }
+
+ private:
+  ProbabilisticRoundRobinPolicy inner_;
+  const DomainModel& domains_;
+  int last_hot_ = -1;
+  int last_normal_ = -1;
+};
+
+}  // namespace adattl::core

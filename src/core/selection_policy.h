@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "web/types.h"
+
+namespace adattl::core {
+
+/// Strategy that picks the Web server for one address request.
+///
+/// Implementations receive the alarm-filtered eligibility mask; they must
+/// return an eligible server (the mask is never all-false — AlarmRegistry
+/// guarantees a fallback).
+class SelectionPolicy {
+ public:
+  virtual ~SelectionPolicy() = default;
+
+  virtual web::ServerId select(web::DomainId domain, const std::vector<bool>& eligible) = 0;
+
+  /// Hook invoked once the scheduler has fixed the TTL for the mapping;
+  /// lets stateful baselines (DAL) account for the assignment.
+  virtual void on_assign(web::DomainId /*domain*/, web::ServerId /*server*/, double /*ttl*/) {}
+
+  /// Long-run fraction of mappings each server receives when all servers
+  /// stay eligible. Exact for the round-robin family; the TTL calibration
+  /// uses it to average the per-server TTL term.
+  virtual std::vector<double> stationary_shares() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace adattl::core

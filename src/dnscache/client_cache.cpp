@@ -1,0 +1,22 @@
+#include "dnscache/client_cache.h"
+
+namespace adattl::dnscache {
+
+ClientCache::ClientCache(sim::Simulator& sim, NameServer& upstream)
+    : sim_(sim), upstream_(upstream) {}
+
+bool ClientCache::has_fresh_mapping() const {
+  return mapping_.server >= 0 && sim_.now() < mapping_.expires_at;
+}
+
+web::ServerId ClientCache::resolve() {
+  if (has_fresh_mapping()) {
+    ++hits_;
+    return mapping_.server;
+  }
+  mapping_ = upstream_.resolve_mapping();
+  ++upstream_queries_;
+  return mapping_.server;
+}
+
+}  // namespace adattl::dnscache

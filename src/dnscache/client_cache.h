@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+#include "dnscache/name_server.h"
+#include "dnscache/resolver.h"
+#include "sim/simulator.h"
+
+namespace adattl::dnscache {
+
+/// Per-client address cache stacked on top of the domain's name server
+/// (paper §1: "caching of the address mapping is typically done at Name
+/// Servers and also at the clients").
+///
+/// The cache inherits the *remaining* TTL of the NS's mapping, so a client
+/// that resolved late in the NS's TTL window holds the mapping only until
+/// the NS's own entry expires — standard DNS semantics. With client
+/// caching enabled, back-to-back sessions of one client stick to the same
+/// server across the whole TTL, further shrinking the DNS's control.
+class ClientCache : public Resolver {
+ public:
+  explicit ClientCache(sim::Simulator& sim, NameServer& upstream);
+
+  web::ServerId resolve() override;
+  web::DomainId domain() const override { return upstream_.domain(); }
+
+  bool has_fresh_mapping() const;
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t upstream_queries() const { return upstream_queries_; }
+
+ private:
+  sim::Simulator& sim_;
+  NameServer& upstream_;
+  Mapping mapping_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t upstream_queries_ = 0;
+};
+
+}  // namespace adattl::dnscache

@@ -1,0 +1,27 @@
+#include "dnscache/name_server.h"
+
+namespace adattl::dnscache {
+
+NameServer::NameServer(sim::Simulator& sim, web::DomainId domain, core::DnsScheduler& dns,
+                       NsTtlBehavior behavior)
+    : sim_(sim), domain_(domain), dns_(dns), behavior_(behavior) {}
+
+bool NameServer::has_fresh_mapping() const {
+  return cached_server_ >= 0 && sim_.now() < expires_at_;
+}
+
+web::ServerId NameServer::resolve() { return resolve_mapping().server; }
+
+Mapping NameServer::resolve_mapping() {
+  if (has_fresh_mapping()) {
+    ++cache_hits_;
+    return Mapping{cached_server_, expires_at_};
+  }
+  const core::Decision d = dns_.schedule(domain_);
+  ++authoritative_queries_;
+  cached_server_ = d.server;
+  expires_at_ = sim_.now() + behavior_.effective_ttl(d.ttl_sec);
+  return Mapping{cached_server_, expires_at_};
+}
+
+}  // namespace adattl::dnscache

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/scheduler.h"
+#include "dnscache/resolver.h"
+#include "sim/simulator.h"
+#include "web/types.h"
+
+namespace adattl::dnscache {
+
+/// How a name server treats TTL values it considers too small.
+///
+/// Paper §5.2: "there does not exist a common TTL lower bound which is
+/// accepted by all NSs ... we consider the worst case scenario, where all
+/// NSs become non-cooperative if the proposed TTL is lower than a given
+/// minimum threshold". A proposed TTL below `min_accepted_sec` is replaced
+/// by `override_sec` (defaults to the threshold itself).
+struct NsTtlBehavior {
+  double min_accepted_sec = 0.0;
+  double override_sec = 0.0;  // 0 ⇒ use min_accepted_sec
+
+  double effective_ttl(double proposed) const {
+    if (proposed >= min_accepted_sec) return proposed;
+    return override_sec > 0.0 ? override_sec : min_accepted_sec;
+  }
+};
+
+/// The local name server of one client domain.
+///
+/// Address requests within the cached mapping's TTL are answered locally;
+/// the first request after expiry goes to the authoritative DNS scheduler.
+/// This cache is exactly why the DNS controls so few requests — the core
+/// problem the adaptive TTL algorithms are designed around.
+class NameServer : public Resolver {
+ public:
+  NameServer(sim::Simulator& sim, web::DomainId domain, core::DnsScheduler& dns,
+             NsTtlBehavior behavior = {});
+
+  /// Resolves the site name for one client of this domain.
+  web::ServerId resolve() override;
+
+  /// Like resolve(), but also reports when the returned mapping expires,
+  /// so client-side caches can inherit the remaining TTL.
+  Mapping resolve_mapping();
+
+  web::DomainId domain() const override { return domain_; }
+
+  /// True if a mapping is currently cached and fresh.
+  bool has_fresh_mapping() const;
+
+  std::uint64_t cache_hits() const { return cache_hits_; }
+  std::uint64_t authoritative_queries() const { return authoritative_queries_; }
+
+  const NsTtlBehavior& behavior() const { return behavior_; }
+
+ private:
+  sim::Simulator& sim_;
+  web::DomainId domain_;
+  core::DnsScheduler& dns_;
+  NsTtlBehavior behavior_;
+
+  web::ServerId cached_server_ = -1;
+  sim::SimTime expires_at_ = sim::kTimeNever;
+
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t authoritative_queries_ = 0;
+};
+
+}  // namespace adattl::dnscache

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "sim/time.h"
+#include "web/types.h"
+
+namespace adattl::dnscache {
+
+/// A cached name-to-address mapping with its expiry instant (absolute
+/// simulated time). Downstream caches inherit the *remaining* TTL, as real
+/// DNS resolvers do.
+struct Mapping {
+  web::ServerId server = -1;
+  sim::SimTime expires_at = sim::kTimeNever;
+};
+
+/// Anything a client can resolve the site name through: the domain's name
+/// server directly, or a client-side cache stacked on top of it.
+class Resolver {
+ public:
+  virtual ~Resolver() = default;
+
+  /// Resolves the site name to a server address.
+  virtual web::ServerId resolve() = 0;
+
+  /// The client domain this resolver serves.
+  virtual web::DomainId domain() const = 0;
+};
+
+}  // namespace adattl::dnscache

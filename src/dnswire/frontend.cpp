@@ -1,0 +1,58 @@
+#include "dnswire/frontend.h"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace adattl::dnswire {
+
+DnsFrontend::DnsFrontend(core::DnsScheduler& scheduler, std::string site_name,
+                         std::vector<std::uint32_t> server_ipv4)
+    : scheduler_(scheduler), site_name_(std::move(site_name)),
+      server_ipv4_(std::move(server_ipv4)) {
+  if (site_name_.empty()) throw std::invalid_argument("DnsFrontend: empty site name");
+  if (server_ipv4_.empty()) throw std::invalid_argument("DnsFrontend: no server addresses");
+  for (char& c : site_name_) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+std::vector<std::uint8_t> DnsFrontend::handle(const std::vector<std::uint8_t>& query,
+                                              web::DomainId source_domain) {
+  Header header;
+  Question question;
+  if (!decode_query(query, &header, &question)) {
+    ++errors_;
+    if (query.size() < 2) return {};  // cannot even echo an id: drop
+    // Enough header to answer FORMERR; echo what we parsed (qdcount may be
+    // wrong, so answer with an empty question echo via a minimal message).
+    Question empty;
+    empty.qname = site_name_;
+    empty.qtype = kTypeA;
+    empty.qclass = kClassIn;
+    header.id = static_cast<std::uint16_t>((query[0] << 8) | query[1]);
+    return encode_a_response(header, empty, 0, 0, kRcodeFormErr);
+  }
+  if (header.qr || header.opcode != 0) {
+    ++errors_;
+    return encode_a_response(header, question, 0, 0, kRcodeFormErr);
+  }
+  if (question.qtype != kTypeA || question.qclass != kClassIn) {
+    ++errors_;
+    return encode_a_response(header, question, 0, 0, kRcodeNotImp);
+  }
+  if (question.qname != site_name_) {
+    ++errors_;
+    return encode_a_response(header, question, 0, 0, kRcodeNxDomain);
+  }
+
+  const core::Decision decision = scheduler_.schedule(source_domain);
+  const auto server = static_cast<std::size_t>(decision.server);
+  if (server >= server_ipv4_.size()) {
+    ++errors_;
+    return encode_a_response(header, question, 0, 0, kRcodeRefused);
+  }
+  ++answered_;
+  // DNS TTLs are integral seconds; never round an adaptive TTL down to 0.
+  const auto ttl = static_cast<std::uint32_t>(decision.ttl_sec < 1.0 ? 1.0 : decision.ttl_sec);
+  return encode_a_response(header, question, server_ipv4_[server], ttl);
+}
+
+}  // namespace adattl::dnswire

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "dnswire/message.h"
+
+namespace adattl::dnswire {
+
+/// Adapts a core::DnsScheduler into an authoritative DNS answer generator:
+/// feed it the raw bytes of a query plus the requester's domain id (in a
+/// real deployment: derived from the resolver's address or EDNS client
+/// subnet), get back the raw bytes of the response — an A record whose
+/// address is the chosen server and whose TTL is the policy's adaptive
+/// TTL. This is the zero-to-deployment bridge: bind a UDP socket, call
+/// handle() per datagram, and the paper's algorithms serve real resolvers.
+///
+/// Error handling follows authoritative-server convention: malformed
+/// queries get FORMERR (when the id is recoverable), non-A/IN questions
+/// get NOTIMP, names we are not authoritative for get NXDOMAIN — and none
+/// of those consume a scheduling decision.
+class DnsFrontend {
+ public:
+  /// `site_name`: the one name this site is authoritative for (dotted,
+  /// case-insensitive). `server_ipv4`: address of each server, index ==
+  /// ServerId, host byte order.
+  DnsFrontend(core::DnsScheduler& scheduler, std::string site_name,
+              std::vector<std::uint32_t> server_ipv4);
+
+  /// Answers one query datagram. Always returns a well-formed response
+  /// when at least the query header was readable; returns an empty vector
+  /// only when not even the id could be recovered (drop the datagram).
+  std::vector<std::uint8_t> handle(const std::vector<std::uint8_t>& query,
+                                   web::DomainId source_domain);
+
+  std::uint64_t answered() const { return answered_; }
+  std::uint64_t refused() const { return errors_; }
+
+ private:
+  core::DnsScheduler& scheduler_;
+  std::string site_name_;  // stored lower-cased
+  std::vector<std::uint32_t> server_ipv4_;
+  std::uint64_t answered_ = 0;
+  std::uint64_t errors_ = 0;
+};
+
+}  // namespace adattl::dnswire

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "experiment/config.h"
+
+namespace adattl::experiment {
+
+/// What a command-line invocation asked for: the simulation itself plus
+/// presentation options.
+struct CliOptions {
+  SimulationConfig config;
+  int replications = 1;
+  bool csv = false;       ///< emit CSV instead of aligned tables
+  bool json = false;      ///< emit one JSON object with the headline metrics
+  bool show_cdf = false;  ///< print the full max-utilization CDF curve
+  /// Write the per-tick utilization time series of the first replication
+  /// to this CSV file (empty = no trace).
+  std::string trace_path;
+  /// Write every authoritative DNS decision of the first replication to
+  /// this CSV file (empty = no decision log).
+  std::string decisions_path;
+};
+
+/// Parses `--key=value` style arguments into CliOptions. Unknown flags or
+/// malformed values throw std::invalid_argument with a message naming the
+/// offending argument. Supported flags (all optional):
+///
+///   --policy=NAME            scheduling algorithm (default RR)
+///   --heterogeneity=P        Table 2 preset: 0/20/35/50/65
+///   --relative=1,0.8,...     custom relative capacities (overrides preset)
+///   --total-capacity=H       total hits/s (default 500)
+///   --domains=K --clients=N --think=SEC --zipf-theta=T
+///   --uniform                uniform client distribution (Ideal workload)
+///   --error=P                hidden-load perturbation percent
+///   --min-ttl=SEC            non-cooperative NS minimum accepted TTL
+///   --ns-per-domain=M        name-server caches per domain (default 1)
+///   --ttl=SEC                constant/reference TTL (default 240)
+///   --alarm-threshold=U      alarm threshold (default 0.9); --no-alarm
+///   --no-calibration         disable address-rate TTL calibration
+///   --measured               estimate weights online instead of oracle
+///   --estimator=ewma|window  estimator kind; --cold-start
+///   --client-cache           enable per-client address caches
+///   --duration=SEC --warmup=SEC --seed=N --replications=R
+///   --csv --json --cdf --trace=FILE.csv
+///   --shift=T:DOMAIN:FACTOR  scripted flash crowd (repeatable): at time T
+///                            multiply DOMAIN's request rate by FACTOR
+CliOptions parse_cli(const std::vector<std::string>& args);
+
+/// Human-readable usage text for run_scenario-style binaries.
+std::string cli_usage();
+
+}  // namespace adattl::experiment

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include <vector>
+
+#include "web/cluster.h"
+#include "workload/client.h"
+#include "workload/think_time_model.h"
+
+namespace adattl::experiment {
+
+/// One injected server failure: the server silently stops serving at
+/// `start_sec` and resumes `duration_sec` later. Queued work survives the
+/// outage (a stall, not a crash-with-data-loss).
+struct ServerOutage {
+  double start_sec = 0.0;
+  double duration_sec = 0.0;
+  int server = 0;
+};
+
+/// Which hidden-load estimator the DNS runs when not in oracle mode.
+enum class EstimatorKind {
+  kEwma,           ///< exponentially-weighted moving average (default)
+  kSlidingWindow,  ///< plain moving average over the last N windows
+};
+
+/// Full description of one simulation run — the paper's Table 1 plus the
+/// knobs its sensitivity studies turn. Defaults reproduce the paper's
+/// default scenario (7 servers, 20% heterogeneity, 20 domains, 500
+/// clients, 2/3 average utilization, 5-hour run).
+struct SimulationConfig {
+  // ---- Web site ----
+  web::ClusterSpec cluster = web::table2_cluster(20);
+
+  // ---- Workload ----
+  int num_domains = 20;
+  int total_clients = 500;
+  double mean_think_sec = 15.0;
+  double zipf_theta = 1.0;
+  /// Uniform client-per-domain distribution: the paper's "Ideal" scenario.
+  bool uniform_clients = false;
+  /// §5.2 estimation-error study: grow the busiest domain's rate by this
+  /// percentage (others shrink to keep the total) while the DNS keeps the
+  /// unperturbed weights.
+  double rate_perturbation_percent = 0.0;
+  workload::SessionProfile session;
+  /// Scripted flash crowds: at each shift's time, the domain's request
+  /// rate is multiplied by its factor (composing). The DNS is *not* told —
+  /// only the online estimator can notice.
+  std::vector<workload::RateShift> rate_shifts;
+
+  // ---- DNS scheduling algorithm ----
+  /// Name per core::parse_policy_name, e.g. "DRR2-TTL/S_K".
+  std::string policy = "RR";
+  double reference_ttl_sec = 240.0;
+  /// γ; 0 means "use the paper default 1/K".
+  double class_threshold = 0.0;
+  /// Address-rate fairness calibration (§4.1); off only in ablations.
+  bool calibrate_ttl = true;
+
+  // ---- Feedback / monitoring ----
+  double alarm_threshold = 0.9;
+  bool alarm_enabled = true;
+  /// Also alarm a server whose queue exceeds this many pages (0 = the
+  /// paper's utilization-only feedback). Detects silent outages.
+  std::size_t alarm_queue_threshold = 0;
+  double monitor_interval_sec = 8.0;
+
+  // ---- Failure injection ----
+  std::vector<ServerOutage> outages;
+
+  // ---- Server-side redirection (extension; the authors' follow-up
+  // "second-level dispatching" mechanism) ----
+  bool redirect_enabled = false;
+  /// Redirect when the target's estimated queue wait exceeds this.
+  double redirect_max_wait_sec = 2.0;
+  /// Extra latency per redirected request (the additional hop).
+  double redirect_delay_sec = 0.1;
+
+  // ---- Geography (extension; 0 regions = the paper's latency-free model) ----
+  /// Number of regions; domains/servers are assigned round-robin.
+  int geo_regions = 0;
+  /// Intra-/inter-region round-trip times (seconds).
+  double geo_intra_rtt_sec = 0.02;
+  double geo_inter_rtt_sec = 0.15;
+
+  // ---- Hidden-load estimation ----
+  /// true: DNS knows the (unperturbed) weights exactly — the paper's
+  /// controlled setting. false: weights come from the online EWMA
+  /// estimator fed by server reports.
+  bool oracle_weights = true;
+  EstimatorKind estimator_kind = EstimatorKind::kEwma;
+  double estimator_smoothing = 0.3;
+  /// Window count for the sliding-window estimator.
+  int estimator_window_count = 8;
+  /// Collect server counters every this many monitor ticks (4 × 8 s = 32 s).
+  int estimator_collect_every_ticks = 4;
+  /// Start the measured estimator from uniform weights instead of the true
+  /// ones (cold start; used by the flash-crowd example).
+  bool estimator_cold_start = false;
+
+  // ---- Name servers / client caches ----
+  /// Non-cooperative NS minimum accepted TTL (§5.2); 0 = fully cooperative.
+  double ns_min_ttl_sec = 0.0;
+  /// Name servers per domain (paper §2: domains have "a (set of) local
+  /// name server(s)"). Each domain's clients are spread evenly over its
+  /// NSs; more NSs = more independent caches = more DNS control.
+  int ns_per_domain = 1;
+  /// Per-client address caches on top of the NS caches (paper §1 notes
+  /// clients cache too). Off by default: the paper's model resolves once
+  /// per session through the NS; the ablation bench studies the effect.
+  bool client_cache_enabled = false;
+
+  // ---- Run control ----
+  double warmup_sec = 600.0;
+  double duration_sec = 18000.0;  ///< measured period after warm-up (5 h)
+  std::uint64_t seed = 42;
+
+  double effective_class_threshold() const {
+    return class_threshold > 0.0 ? class_threshold : 1.0 / num_domains;
+  }
+
+  void validate() const;
+};
+
+}  // namespace adattl::experiment

@@ -1,0 +1,53 @@
+#include "experiment/decision_log.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace adattl::experiment {
+
+DecisionLog::DecisionLog(std::size_t capacity) : capacity_(capacity) {}
+
+void DecisionLog::attach(sim::Simulator& sim, core::DnsScheduler& scheduler) {
+  scheduler.set_decision_hook(
+      [this, &sim](web::DomainId domain, const core::Decision& decision) {
+        record(sim.now(), domain, decision);
+      });
+}
+
+void DecisionLog::record(sim::SimTime now, web::DomainId domain,
+                         const core::Decision& decision) {
+  ++total_;
+  const DecisionEntry entry{now, domain, decision.server, decision.ttl_sec};
+  if (capacity_ == 0 || entries_.size() < capacity_) {
+    entries_.push_back(entry);
+    return;
+  }
+  // Ring overwrite of the oldest entry.
+  entries_[head_] = entry;
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::string DecisionLog::to_csv() const {
+  std::string out = "time,domain,server,ttl\n";
+  char buf[96];
+  // Emit in chronological order: oldest retained entry first.
+  const std::size_t n = entries_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t idx = (capacity_ != 0 && n == capacity_) ? (head_ + i) % n : i;
+    const DecisionEntry& e = entries_[idx];
+    std::snprintf(buf, sizeof(buf), "%.3f,%d,%d,%.3f\n", e.time, e.domain, e.server,
+                  e.ttl_sec);
+    out += buf;
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> DecisionLog::per_server_counts() const {
+  int max_server = -1;
+  for (const DecisionEntry& e : entries_) max_server = std::max(max_server, e.server);
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(max_server + 1), 0);
+  for (const DecisionEntry& e : entries_) counts[static_cast<std::size_t>(e.server)]++;
+  return counts;
+}
+
+}  // namespace adattl::experiment

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "sim/simulator.h"
+
+namespace adattl::experiment {
+
+/// One authoritative DNS decision, stamped with simulated time.
+struct DecisionEntry {
+  sim::SimTime time = 0.0;
+  web::DomainId domain = 0;
+  web::ServerId server = 0;
+  double ttl_sec = 0.0;
+};
+
+/// Bounded log of the DNS's address-mapping decisions — the complete
+/// control trace of a run (there are only a few hundred decisions per
+/// simulated hour, so full capture is cheap). Useful for debugging a
+/// policy's behaviour and for auditing, e.g., which server a hot domain
+/// was pinned to when an overload window started.
+class DecisionLog {
+ public:
+  /// Keeps at most `capacity` entries; older entries are discarded
+  /// (the tail of the run is usually what matters). 0 = unbounded.
+  explicit DecisionLog(std::size_t capacity = 0);
+
+  /// Hooks this log into a scheduler, stamping entries with `sim`'s clock.
+  /// Replaces any previously installed hook on that scheduler.
+  void attach(sim::Simulator& sim, core::DnsScheduler& scheduler);
+
+  /// Direct feed (tests, custom wiring).
+  void record(sim::SimTime now, web::DomainId domain, const core::Decision& decision);
+
+  const std::vector<DecisionEntry>& entries() const { return entries_; }
+  std::uint64_t total_recorded() const { return total_; }
+  std::uint64_t discarded() const { return total_ - entries_.size(); }
+
+  /// CSV: "time,domain,server,ttl" rows in record order.
+  std::string to_csv() const;
+
+  /// Decisions per server over the retained entries (index == ServerId;
+  /// sized to the largest server id seen + 1).
+  std::vector<std::uint64_t> per_server_counts() const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<DecisionEntry> entries_;
+  std::size_t head_ = 0;  // ring index when capacity_ > 0 and full
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace adattl::experiment

@@ -1,0 +1,56 @@
+#include "experiment/report.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace adattl::experiment {
+
+TableReport::TableReport(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("TableReport: no columns");
+}
+
+void TableReport::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TableReport: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TableReport::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void TableReport::print(const std::string& title) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+
+  if (!title.empty()) std::printf("\n== %s ==\n", title.c_str());
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s%s", static_cast<int>(width[c]), row[c].c_str(),
+                  c + 1 < row.size() ? "  " : "\n");
+    }
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + 2;
+  std::printf("%s\n", std::string(total > 2 ? total - 2 : total, '-').c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TableReport::print_csv() const {
+  auto csv_row = [](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::printf("%s%s", row[c].c_str(), c + 1 < row.size() ? "," : "\n");
+    }
+  };
+  csv_row(headers_);
+  for (const auto& row : rows_) csv_row(row);
+}
+
+}  // namespace adattl::experiment

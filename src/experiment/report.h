@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace adattl::experiment {
+
+/// Minimal fixed-width table printer for the bench/example binaries, so
+/// every figure harness prints rows/series in the same shape the paper's
+/// tables and plots report.
+class TableReport {
+ public:
+  explicit TableReport(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with aligned columns to stdout, preceded by `title`.
+  void print(const std::string& title) const;
+
+  /// Renders as CSV to stdout (header + rows), for plotting pipelines.
+  void print_csv() const;
+
+  static std::string fmt(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace adattl::experiment

@@ -1,0 +1,143 @@
+#include "experiment/runner.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace adattl::experiment {
+
+sim::MeanCi ReplicatedResult::ci(const std::function<double(const RunResult&)>& f) const {
+  std::vector<double> xs;
+  xs.reserve(runs.size());
+  for (const auto& r : runs) xs.push_back(f(r));
+  return sim::mean_ci(xs);
+}
+
+sim::MeanCi ReplicatedResult::prob_below(double u) const {
+  return ci([u](const RunResult& r) { return r.max_util_cdf.prob_below(u); });
+}
+
+sim::MeanCi ReplicatedResult::aggregate_utilization() const {
+  return ci([](const RunResult& r) { return r.aggregate_utilization; });
+}
+
+sim::MeanCi ReplicatedResult::address_request_rate() const {
+  return ci([](const RunResult& r) { return r.address_request_rate; });
+}
+
+std::vector<std::pair<double, double>> ReplicatedResult::mean_cdf_curve(int points) const {
+  std::vector<std::pair<double, double>> curve;
+  curve.reserve(static_cast<std::size_t>(points) + 1);
+  for (int i = 0; i <= points; ++i) {
+    const double u = static_cast<double>(i) / points;
+    double sum = 0.0;
+    for (const auto& r : runs) sum += r.max_util_cdf.prob_below(u);
+    curve.emplace_back(u, runs.empty() ? 0.0 : sum / static_cast<double>(runs.size()));
+  }
+  return curve;
+}
+
+ReplicatedResult run_replications(SimulationConfig config, int replications) {
+  if (replications < 1) throw std::invalid_argument("run_replications: need >= 1");
+  ReplicatedResult out;
+  out.runs.reserve(static_cast<std::size_t>(replications));
+  const std::uint64_t base_seed = config.seed;
+  for (int i = 0; i < replications; ++i) {
+    config.seed = base_seed + static_cast<std::uint64_t>(i);
+    Site site(config);
+    out.runs.push_back(site.run());
+  }
+  return out;
+}
+
+ReplicatedResult run_policy(SimulationConfig base, const std::string& policy, int replications) {
+  base.policy = policy;
+  return run_replications(std::move(base), replications);
+}
+
+namespace {
+
+void append_kv(std::string& out, const char* key, double value, bool comma = true) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%.6g", key, value);
+  out += buf;
+  if (comma) out += ",";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const SimulationConfig& config, const ReplicatedResult& result) {
+  std::string out = "{";
+  out += "\"policy\":\"" + json_escape(config.policy) + "\",";
+  append_kv(out, "servers", config.cluster.size());
+  append_kv(out, "heterogeneity_percent", config.cluster.heterogeneity_percent());
+  append_kv(out, "domains", config.num_domains);
+  append_kv(out, "clients", config.total_clients);
+  append_kv(out, "replications", static_cast<double>(result.runs.size()));
+  append_kv(out, "duration_sec", config.duration_sec);
+
+  const sim::MeanCi p90 = result.prob_below(0.90);
+  const sim::MeanCi p98 = result.prob_below(0.98);
+  append_kv(out, "p_max_util_below_090", p90.mean);
+  append_kv(out, "p_max_util_below_090_ci", p90.halfwidth);
+  append_kv(out, "p_max_util_below_098", p98.mean);
+  append_kv(out, "p_max_util_below_098_ci", p98.halfwidth);
+  append_kv(out, "mean_max_utilization",
+            result.ci([](const RunResult& r) { return r.mean_max_utilization; }).mean);
+  append_kv(out, "aggregate_utilization", result.aggregate_utilization().mean);
+  append_kv(out, "address_request_rate", result.address_request_rate().mean);
+  append_kv(out, "dns_controlled_fraction",
+            result.ci([](const RunResult& r) { return r.dns_controlled_fraction; }).mean);
+  append_kv(out, "mean_ttl_sec", result.ci([](const RunResult& r) { return r.mean_ttl; }).mean);
+  append_kv(out, "mean_response_sec",
+            result.ci([](const RunResult& r) { return r.mean_page_response_sec; }).mean);
+  append_kv(out, "response_p99_sec",
+            result.ci([](const RunResult& r) { return r.response_p99_sec; }).mean);
+  append_kv(out, "mean_network_rtt_sec",
+            result.ci([](const RunResult& r) { return r.mean_network_rtt_sec; }).mean);
+
+  out += "\"mean_server_utilization\":[";
+  const RunResult& first = result.runs.front();
+  for (std::size_t s = 0; s < first.mean_server_util.size(); ++s) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g%s", first.mean_server_util[s],
+                  s + 1 < first.mean_server_util.size() ? "," : "");
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+namespace {
+
+double env_double(const char* name, double fallback, double lo, double hi) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  try {
+    return std::clamp(std::stod(v), lo, hi);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+}  // namespace
+
+int default_replications() {
+  return static_cast<int>(env_double("ADATTL_REPLICATIONS", 3, 1, 30));
+}
+
+double default_duration_sec() {
+  return env_double("ADATTL_DURATION_SEC", 18000.0, 600.0, 1e7);
+}
+
+}  // namespace adattl::experiment

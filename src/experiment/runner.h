@@ -1,0 +1,51 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "experiment/site.h"
+#include "sim/stats.h"
+
+namespace adattl::experiment {
+
+/// Result of several independent replications of the same configuration
+/// (different seeds).
+struct ReplicatedResult {
+  std::vector<RunResult> runs;
+
+  /// Mean + 95% CI of a scalar extracted from each run.
+  sim::MeanCi ci(const std::function<double(const RunResult&)>& f) const;
+
+  sim::MeanCi prob_below(double u) const;
+  sim::MeanCi aggregate_utilization() const;
+  sim::MeanCi address_request_rate() const;
+
+  /// Pointwise-averaged cumulative curve over the CDF bin boundaries:
+  /// first = max-utilization boundary, second = mean P(maxUtil < boundary).
+  std::vector<std::pair<double, double>> mean_cdf_curve(int points = 50) const;
+};
+
+/// Runs `replications` independent runs of `config` with seeds derived
+/// from config.seed (seed, seed+1, ...).
+ReplicatedResult run_replications(SimulationConfig config, int replications);
+
+/// Convenience used all over the benches: run one policy (by name) with a
+/// tweak applied to the base config.
+ReplicatedResult run_policy(SimulationConfig base, const std::string& policy, int replications);
+
+/// Serializes a scenario's headline results as a JSON object (policy,
+/// site shape, P(maxUtil < x) with CIs, utilization, address-rate, DNS
+/// control, response times, per-server utilizations). For dashboards and
+/// scripted sweeps; the schema is flat and stable.
+std::string to_json(const SimulationConfig& config, const ReplicatedResult& result);
+
+/// Number of replications the figure benches use. Default 3; override via
+/// environment variable ADATTL_REPLICATIONS (clamped to [1, 30]).
+int default_replications();
+
+/// Measured-period length for figure benches, seconds. Default: the
+/// paper's 5 simulated hours; override via ADATTL_DURATION_SEC.
+double default_duration_sec();
+
+}  // namespace adattl::experiment

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace adattl::experiment {
+
+/// Converts scenario-file text into CLI-style arguments.
+///
+/// Format: one `key = value` per line; keys are the CLI flag names without
+/// the leading dashes (`policy`, `heterogeneity`, `min-ttl`, ...). Boolean
+/// flags take `true`/`false` (false = omit the flag). Repeatable flags
+/// (`shift`, `outage`) may appear on multiple lines. `#` starts a comment;
+/// blank lines are ignored.
+///
+///     # hot-spot scenario
+///     policy       = DRR2-TTL/S_K
+///     heterogeneity = 50
+///     min-ttl      = 60
+///     uniform      = false
+///     shift        = 600:3:5
+///
+/// Throws std::invalid_argument with line numbers on malformed input. The
+/// returned vector feeds parse_cli(), so value validation happens there.
+std::vector<std::string> scenario_text_to_args(const std::string& text);
+
+/// Reads a scenario file from disk (throws std::runtime_error on I/O
+/// failure) and converts it with scenario_text_to_args().
+std::vector<std::string> load_scenario_file(const std::string& path);
+
+}  // namespace adattl::experiment

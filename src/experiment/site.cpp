@@ -1,0 +1,227 @@
+#include "experiment/site.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace adattl::experiment {
+
+Site::Site(const SimulationConfig& config)
+    : config_(config), rng_(config.seed) {
+  config_.validate();
+
+  // ---- Workload population ----
+  const workload::DomainSet base =
+      config_.uniform_clients
+          ? workload::make_uniform_domains(config_.num_domains, config_.total_clients,
+                                           config_.mean_think_sec)
+          : workload::make_zipf_domains(config_.num_domains, config_.total_clients,
+                                        config_.mean_think_sec, config_.zipf_theta);
+
+  // Clients behave per the perturbed rates; the DNS keeps the unperturbed
+  // weights — that gap is the paper's "estimation error".
+  domains_ = base;
+  if (config_.rate_perturbation_percent > 0.0) {
+    workload::apply_rate_perturbation(domains_, config_.rate_perturbation_percent);
+  }
+
+  think_model_ = std::make_unique<workload::ThinkTimeModel>(domains_.mean_think_sec);
+  // Scripted flash crowds fire as simulator events; the DNS only learns of
+  // them through the estimator (if enabled).
+  for (const workload::RateShift& shift : config_.rate_shifts) {
+    sim_.at(shift.at_sec, [this, shift] {
+      think_model_->scale_rate(shift.domain, shift.rate_factor);
+    });
+  }
+
+  // ---- Servers ----
+  cluster_ = std::make_unique<web::Cluster>(sim_, config_.cluster, config_.num_domains, rng_);
+
+  // ---- Geography (optional) ----
+  if (config_.geo_regions > 0) {
+    geo_ = std::make_shared<const geo::GeoModel>(
+        geo::GeoModel::regions(config_.num_domains, cluster_->size(), config_.geo_regions,
+                               config_.geo_intra_rtt_sec, config_.geo_inter_rtt_sec));
+  }
+
+  // Failure injection: silent stalls and recoveries.
+  for (const ServerOutage& outage : config_.outages) {
+    sim_.at(outage.start_sec,
+            [this, s = outage.server] { cluster_->server(s).set_paused(true); });
+    sim_.at(outage.start_sec + outage.duration_sec,
+            [this, s = outage.server] { cluster_->server(s).set_paused(false); });
+  }
+
+  // ---- Server-side dispatch (direct, or redirecting second level) ----
+  if (config_.redirect_enabled) {
+    dispatcher_ = std::make_unique<web::RedirectingDispatcher>(
+        sim_, *cluster_, config_.redirect_max_wait_sec, config_.redirect_delay_sec,
+        config_.session.mean_hits_per_page());
+  } else {
+    dispatcher_ = std::make_unique<web::DirectDispatcher>(*cluster_);
+  }
+
+  // ---- DNS scheduler ----
+  alarms_ = std::make_unique<core::AlarmRegistry>(cluster_->size(), config_.alarm_threshold,
+                                                  config_.alarm_enabled,
+                                                  config_.alarm_queue_threshold);
+  core::SchedulerFactoryConfig fc;
+  fc.capacities = cluster_->capacities();
+  fc.initial_weights =
+      (config_.estimator_cold_start && !config_.oracle_weights)
+          ? std::vector<double>(static_cast<std::size_t>(config_.num_domains), 1.0)
+          : base.true_weights();
+  fc.class_threshold = config_.effective_class_threshold();
+  fc.reference_ttl = config_.reference_ttl_sec;
+  fc.calibrate_ttl = config_.calibrate_ttl;
+  fc.geo = geo_;
+  bundle_ = core::make_scheduler(config_.policy, fc, *alarms_, sim_, rng_);
+
+  switch (config_.estimator_kind) {
+    case EstimatorKind::kEwma:
+      estimator_ = std::make_unique<core::EwmaLoadEstimator>(
+          *bundle_.domains, config_.estimator_smoothing, config_.oracle_weights);
+      break;
+    case EstimatorKind::kSlidingWindow:
+      estimator_ = std::make_unique<core::SlidingWindowLoadEstimator>(
+          *bundle_.domains, config_.estimator_window_count, config_.oracle_weights);
+      break;
+  }
+
+  // ---- Name servers (ns_per_domain caches per domain) ----
+  dnscache::NsTtlBehavior ns_behavior;
+  ns_behavior.min_accepted_sec = config_.ns_min_ttl_sec;
+  name_servers_.reserve(
+      static_cast<std::size_t>(config_.num_domains) * config_.ns_per_domain);
+  for (int d = 0; d < config_.num_domains; ++d) {
+    for (int m = 0; m < config_.ns_per_domain; ++m) {
+      name_servers_.push_back(
+          std::make_unique<dnscache::NameServer>(sim_, d, *bundle_.scheduler, ns_behavior));
+    }
+  }
+
+  // ---- Clients ----
+  sim::RngStream client_seeds = rng_.split();
+  sim::RngStream stagger = rng_.split();
+  clients_.reserve(static_cast<std::size_t>(config_.total_clients));
+  for (int d = 0; d < config_.num_domains; ++d) {
+    const auto dd = static_cast<std::size_t>(d);
+    for (int c = 0; c < domains_.clients[dd]; ++c) {
+      // Clients spread round-robin over their domain's name servers.
+      dnscache::NameServer& ns =
+          *name_servers_[dd * static_cast<std::size_t>(config_.ns_per_domain) +
+                         static_cast<std::size_t>(c % config_.ns_per_domain)];
+      dnscache::Resolver* resolver = &ns;
+      if (config_.client_cache_enabled) {
+        client_caches_.push_back(std::make_unique<dnscache::ClientCache>(sim_, ns));
+        resolver = client_caches_.back().get();
+      }
+      clients_.push_back(std::make_unique<workload::Client>(
+          sim_, *resolver, *dispatcher_, config_.session, *think_model_,
+          client_seeds.split(), geo_.get()));
+      // Staggered arrival over one think time keeps t = 0 from stampeding
+      // the DNS with simultaneous resolutions.
+      clients_.back()->start(stagger.uniform(0.0, config_.mean_think_sec));
+    }
+  }
+
+  // ---- Monitoring: alarms, metrics, estimation all on the 8 s clock ----
+  monitor_ = std::make_unique<web::MonitorHub>(sim_, *cluster_, config_.monitor_interval_sec);
+  tracker_ = std::make_unique<MaxUtilizationTracker>(cluster_->size(), config_.warmup_sec);
+
+  monitor_->add_full_observer([this](sim::SimTime now, const std::vector<double>& util,
+                                     const std::vector<std::size_t>& queues) {
+    alarms_->observe_full(now, util, queues);
+    tracker_->observe(now, util);
+    if (!config_.oracle_weights && ++ticks_ % config_.estimator_collect_every_ticks == 0) {
+      collect_estimator_window(config_.monitor_interval_sec *
+                               config_.estimator_collect_every_ticks);
+    }
+  });
+  monitor_->start();
+}
+
+void Site::collect_estimator_window(double window_sec) {
+  std::vector<std::uint64_t> total(static_cast<std::size_t>(config_.num_domains), 0);
+  for (int s = 0; s < cluster_->size(); ++s) {
+    const std::vector<std::uint64_t> part = cluster_->server(s).drain_domain_hits();
+    for (std::size_t d = 0; d < total.size(); ++d) total[d] += part[d];
+  }
+  estimator_->observe(total, window_sec);
+}
+
+RunResult Site::run() {
+  if (ran_) throw std::logic_error("Site::run: a Site is single-use");
+  ran_ = true;
+
+  const double horizon = config_.warmup_sec + config_.duration_sec;
+  sim_.run_until(horizon);
+
+  RunResult r;
+  r.max_util_cdf = tracker_->cdf();
+  r.prob_below_090 = tracker_->prob_below(0.90);
+  r.prob_below_098 = tracker_->prob_below(0.98);
+  r.mean_max_utilization = tracker_->mean_max_utilization();
+  r.max_util_ci_relative = tracker_->batch_means().relative_halfwidth();
+  r.mean_server_util = tracker_->mean_utilizations();
+
+  // Capacity-weighted aggregate utilization = offered load / total capacity.
+  const std::vector<double>& cap = cluster_->capacities();
+  const double total_cap = std::accumulate(cap.begin(), cap.end(), 0.0);
+  for (std::size_t i = 0; i < cap.size(); ++i) {
+    r.aggregate_utilization += r.mean_server_util[i] * cap[i] / total_cap;
+  }
+
+  double network_total = 0.0;
+  for (const auto& c : clients_) {
+    r.total_pages += c->pages_requested();
+    network_total += c->network_time_sec();
+  }
+  r.mean_network_rtt_sec =
+      r.total_pages ? network_total / static_cast<double>(r.total_pages) : 0.0;
+  for (int s = 0; s < cluster_->size(); ++s) r.total_hits += cluster_->server(s).hits_served();
+  for (const auto& ns : name_servers_) {
+    r.authoritative_queries += ns->authoritative_queries();
+    r.ns_cache_hits += ns->cache_hits();
+  }
+  for (const auto& cc : client_caches_) r.client_cache_hits += cc->hits();
+  r.address_request_rate = static_cast<double>(r.authoritative_queries) / horizon;
+  r.dns_controlled_fraction =
+      r.total_pages ? static_cast<double>(r.authoritative_queries) /
+                          static_cast<double>(r.total_pages)
+                    : 0.0;
+
+  double response_weighted = 0.0;
+  std::uint64_t response_pages = 0;
+  for (int s = 0; s < cluster_->size(); ++s) {
+    const sim::RunningStat& rt = cluster_->server(s).response_time();
+    r.per_server_response_sec.push_back(rt.mean());
+    response_weighted += rt.mean() * static_cast<double>(rt.count());
+    response_pages += rt.count();
+  }
+  r.mean_page_response_sec =
+      response_pages ? response_weighted / static_cast<double>(response_pages) : 0.0;
+
+  sim::Histogram site_response(30.0, 3000);
+  for (int s = 0; s < cluster_->size(); ++s) {
+    site_response.merge(cluster_->server(s).response_histogram());
+  }
+  r.response_p50_sec = site_response.quantile(0.50);
+  r.response_p95_sec = site_response.quantile(0.95);
+  r.response_p99_sec = site_response.quantile(0.99);
+
+  if (const auto* redirecting =
+          dynamic_cast<const web::RedirectingDispatcher*>(dispatcher_.get())) {
+    r.redirected_pages = redirecting->redirects();
+    const double handled =
+        static_cast<double>(redirecting->redirects() + redirecting->direct_deliveries());
+    r.redirected_fraction =
+        handled > 0 ? static_cast<double>(redirecting->redirects()) / handled : 0.0;
+  }
+
+  r.mean_ttl = bundle_.scheduler->ttl_stat().mean();
+  r.alarm_signals = alarms_->alarm_signals() + alarms_->normal_signals();
+  r.events_dispatched = sim_.events_dispatched();
+  return r;
+}
+
+}  // namespace adattl::experiment

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/alarm_registry.h"
+#include "core/load_estimator.h"
+#include "core/policy_factory.h"
+#include "geo/geo_model.h"
+#include "dnscache/client_cache.h"
+#include "dnscache/name_server.h"
+#include "experiment/config.h"
+#include "experiment/metrics.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "web/cluster.h"
+#include "web/dispatcher.h"
+#include "web/monitor_hub.h"
+#include "workload/client.h"
+#include "workload/domain_set.h"
+
+namespace adattl::experiment {
+
+/// Aggregate outcome of one simulation run.
+struct RunResult {
+  sim::EmpiricalCdf max_util_cdf{500};
+  double prob_below_090 = 0.0;
+  double prob_below_098 = 0.0;
+  double mean_max_utilization = 0.0;
+  /// Within-run 95% batch-means CI of the mean max utilization, as a
+  /// fraction of the mean (paper: "within 4%").
+  double max_util_ci_relative = 0.0;
+  std::vector<double> mean_server_util;
+  /// Capacity-weighted mean utilization (≈ offered load / total capacity).
+  double aggregate_utilization = 0.0;
+
+  std::uint64_t total_pages = 0;
+  std::uint64_t total_hits = 0;
+  std::uint64_t authoritative_queries = 0;
+  std::uint64_t ns_cache_hits = 0;
+  /// Resolutions absorbed by per-client caches (0 unless enabled).
+  std::uint64_t client_cache_hits = 0;
+  /// Address requests answered by the authoritative DNS per second —
+  /// must match across calibrated policies (§4.1 fairness rule).
+  double address_request_rate = 0.0;
+  /// Fraction of page requests whose mapping decision the DNS made
+  /// directly (paper: "often below 4%").
+  double dns_controlled_fraction = 0.0;
+
+  double mean_ttl = 0.0;
+  std::uint64_t alarm_signals = 0;
+  std::uint64_t events_dispatched = 0;
+
+  /// Mean page response time (queueing + service) across all servers,
+  /// weighted by pages served; the per-server breakdown shows how badly
+  /// overload punishes the weak servers under non-adaptive policies.
+  double mean_page_response_sec = 0.0;
+  std::vector<double> per_server_response_sec;
+  /// Site-wide response-time percentiles (merged server histograms).
+  /// These are server-side times; with geography enabled, the client
+  /// additionally sees mean_network_rtt_sec of flight time per page.
+  double response_p50_sec = 0.0;
+  double response_p95_sec = 0.0;
+  double response_p99_sec = 0.0;
+  /// Mean network round-trip per page (0 without a geo model).
+  double mean_network_rtt_sec = 0.0;
+
+  /// Server-side redirection counters (0 unless enabled).
+  std::uint64_t redirected_pages = 0;
+  double redirected_fraction = 0.0;
+};
+
+/// One fully wired distributed Web site: servers, authoritative DNS
+/// scheduler, per-domain name servers, client population, monitor, alarm
+/// feedback, hidden-load estimation and metrics.
+///
+/// Construction builds the whole object graph from a SimulationConfig;
+/// run() executes warm-up plus the measured period and returns the
+/// aggregated results. One Site = one simulation run (single-use).
+class Site {
+ public:
+  explicit Site(const SimulationConfig& config);
+
+  Site(const Site&) = delete;
+  Site& operator=(const Site&) = delete;
+
+  /// Runs warm-up + measured period; single use.
+  RunResult run();
+
+  // ---- Introspection (tests, examples) ----
+  sim::Simulator& simulator() { return sim_; }
+  web::Cluster& cluster() { return *cluster_; }
+  core::DnsScheduler& scheduler() { return *bundle_.scheduler; }
+  core::DomainModel& domain_model() { return *bundle_.domains; }
+  core::AlarmRegistry& alarms() { return *alarms_; }
+  web::MonitorHub& monitor() { return *monitor_; }
+  core::LoadEstimator& estimator() { return *estimator_; }
+  const workload::DomainSet& domain_set() const { return domains_; }
+  workload::ThinkTimeModel& think_time_model() { return *think_model_; }
+  /// Null when geography is disabled.
+  const geo::GeoModel* geo_model() const { return geo_.get(); }
+  /// NS `replica` (0-based) of domain `d`.
+  dnscache::NameServer& name_server(int d, int replica = 0) {
+    return *name_servers_.at(
+        static_cast<std::size_t>(d * config_.ns_per_domain + replica));
+  }
+  const SimulationConfig& config() const { return config_; }
+
+ private:
+  void collect_estimator_window(double window_sec);
+
+  SimulationConfig config_;
+  sim::Simulator sim_;
+  sim::RngStream rng_;
+
+  workload::DomainSet domains_;  // perturbed (actual) workload
+  std::unique_ptr<workload::ThinkTimeModel> think_model_;
+  std::shared_ptr<const geo::GeoModel> geo_;
+  std::unique_ptr<web::Cluster> cluster_;
+  std::unique_ptr<web::PageDispatcher> dispatcher_;
+  std::unique_ptr<core::AlarmRegistry> alarms_;
+  core::SchedulerBundle bundle_;
+  std::unique_ptr<core::LoadEstimator> estimator_;
+  std::vector<std::unique_ptr<dnscache::NameServer>> name_servers_;
+  std::vector<std::unique_ptr<dnscache::ClientCache>> client_caches_;  // optional layer
+  std::vector<std::unique_ptr<workload::Client>> clients_;
+  std::unique_ptr<web::MonitorHub> monitor_;
+  std::unique_ptr<MaxUtilizationTracker> tracker_;
+
+  int ticks_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace adattl::experiment

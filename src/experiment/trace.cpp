@@ -1,0 +1,60 @@
+#include "experiment/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace adattl::experiment {
+
+TraceRecorder::TraceRecorder(std::size_t max_samples) : max_samples_(max_samples) {}
+
+void TraceRecorder::attach(web::MonitorHub& hub) {
+  hub.add_observer([this](sim::SimTime now, const std::vector<double>& utils) {
+    observe(now, utils);
+  });
+}
+
+void TraceRecorder::observe(sim::SimTime now, const std::vector<double>& utilizations) {
+  if (max_samples_ != 0 && samples_.size() >= max_samples_) {
+    ++dropped_;
+    return;
+  }
+  TraceSample s;
+  s.time = now;
+  s.utilizations = utilizations;
+  s.max_utilization =
+      utilizations.empty() ? 0.0 : *std::max_element(utilizations.begin(), utilizations.end());
+  samples_.push_back(std::move(s));
+}
+
+std::string TraceRecorder::to_csv() const {
+  std::string out = "time";
+  const std::size_t n = samples_.empty() ? 0 : samples_.front().utilizations.size();
+  for (std::size_t i = 0; i < n; ++i) out += ",s" + std::to_string(i);
+  out += ",max\n";
+  char buf[64];
+  for (const TraceSample& s : samples_) {
+    std::snprintf(buf, sizeof(buf), "%.3f", s.time);
+    out += buf;
+    for (double u : s.utilizations) {
+      std::snprintf(buf, sizeof(buf), ",%.6f", u);
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), ",%.6f\n", s.max_utilization);
+    out += buf;
+  }
+  return out;
+}
+
+void TraceRecorder::write_csv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) throw std::runtime_error("TraceRecorder: cannot open '" + path + "' for writing");
+  const std::string csv = to_csv();
+  const std::size_t written = std::fwrite(csv.data(), 1, csv.size(), f);
+  const int rc = std::fclose(f);
+  if (written != csv.size() || rc != 0) {
+    throw std::runtime_error("TraceRecorder: short write to '" + path + "'");
+  }
+}
+
+}  // namespace adattl::experiment

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+#include "web/monitor_hub.h"
+
+namespace adattl::experiment {
+
+/// One monitor tick of a recorded run.
+struct TraceSample {
+  sim::SimTime time = 0.0;
+  std::vector<double> utilizations;  // index == ServerId
+  double max_utilization = 0.0;
+};
+
+/// Records the per-tick utilization time series of a run — the raw data
+/// behind every figure — and exports it as CSV for external plotting.
+///
+/// Attach to a Site's MonitorHub before run(); samples arrive on the same
+/// 8-second clock as the alarms and metrics.
+class TraceRecorder {
+ public:
+  /// `max_samples` caps memory for very long runs (0 = unlimited); when
+  /// the cap is hit, further samples are dropped and dropped_count() grows.
+  explicit TraceRecorder(std::size_t max_samples = 0);
+
+  /// Registers this recorder on a monitor hub.
+  void attach(web::MonitorHub& hub);
+
+  /// Direct feed (tests, custom wiring).
+  void observe(sim::SimTime now, const std::vector<double>& utilizations);
+
+  const std::vector<TraceSample>& samples() const { return samples_; }
+  std::size_t dropped_count() const { return dropped_; }
+
+  /// CSV with header "time,s0,s1,...,max"; one row per tick.
+  std::string to_csv() const;
+
+  /// Writes to_csv() to a file; throws std::runtime_error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::size_t max_samples_;
+  std::vector<TraceSample> samples_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace adattl::experiment

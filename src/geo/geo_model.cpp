@@ -1,0 +1,60 @@
+#include "geo/geo_model.h"
+
+#include <stdexcept>
+
+namespace adattl::geo {
+
+GeoModel::GeoModel(std::vector<std::vector<double>> rtt_sec) : rtt_(std::move(rtt_sec)) {
+  if (rtt_.empty() || rtt_.front().empty()) {
+    throw std::invalid_argument("GeoModel: empty RTT matrix");
+  }
+  const std::size_t servers = rtt_.front().size();
+  for (const auto& row : rtt_) {
+    if (row.size() != servers) throw std::invalid_argument("GeoModel: ragged RTT matrix");
+    for (double r : row) {
+      if (r < 0) throw std::invalid_argument("GeoModel: negative RTT");
+    }
+  }
+}
+
+GeoModel GeoModel::regions(int num_domains, int num_servers, int num_regions,
+                           double intra_rtt_sec, double inter_rtt_sec) {
+  if (num_domains < 1 || num_servers < 1) {
+    throw std::invalid_argument("GeoModel::regions: need domains and servers");
+  }
+  if (num_regions < 1) throw std::invalid_argument("GeoModel::regions: need >= 1 region");
+  if (intra_rtt_sec < 0 || inter_rtt_sec < intra_rtt_sec) {
+    throw std::invalid_argument("GeoModel::regions: need 0 <= intra <= inter RTT");
+  }
+  std::vector<std::vector<double>> rtt(
+      static_cast<std::size_t>(num_domains),
+      std::vector<double>(static_cast<std::size_t>(num_servers), inter_rtt_sec));
+  for (int d = 0; d < num_domains; ++d) {
+    for (int s = 0; s < num_servers; ++s) {
+      if (d % num_regions == s % num_regions) {
+        rtt[static_cast<std::size_t>(d)][static_cast<std::size_t>(s)] = intra_rtt_sec;
+      }
+    }
+  }
+  return GeoModel(std::move(rtt));
+}
+
+std::vector<web::ServerId> GeoModel::nearest_servers(web::DomainId domain) const {
+  const auto& row = rtt_.at(static_cast<std::size_t>(domain));
+  double best = row.front();
+  for (double r : row) best = std::min(best, r);
+  std::vector<web::ServerId> out;
+  for (std::size_t s = 0; s < row.size(); ++s) {
+    if (row[s] == best) out.push_back(static_cast<web::ServerId>(s));
+  }
+  return out;
+}
+
+double GeoModel::mean_rtt(web::DomainId domain) const {
+  const auto& row = rtt_.at(static_cast<std::size_t>(domain));
+  double sum = 0.0;
+  for (double r : row) sum += r;
+  return sum / static_cast<double>(row.size());
+}
+
+}  // namespace adattl::geo

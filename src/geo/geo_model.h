@@ -1,0 +1,51 @@
+#pragma once
+
+#include <vector>
+
+#include "web/types.h"
+
+namespace adattl::geo {
+
+/// Network geography for a *geographically* distributed Web site
+/// (extension — the paper models load only; this module adds the
+/// proximity dimension its title implies and its sequel literature
+/// develops, so the load/latency tension can be measured).
+///
+/// The model is a per-(domain, server) round-trip time. The provided
+/// builder assigns domains and servers to `R` regions round-robin and
+/// uses two RTT levels (intra-/inter-region); arbitrary matrices can be
+/// supplied directly for irregular topologies.
+class GeoModel {
+ public:
+  /// Explicit matrix: rtt_sec[domain][server], all entries >= 0.
+  explicit GeoModel(std::vector<std::vector<double>> rtt_sec);
+
+  /// Region-based builder: domain d lives in region d % regions, server s
+  /// in region s % regions; same region → intra_rtt, else inter_rtt.
+  /// Round-robin server placement mirrors real deployments: consecutive
+  /// capacity ranks spread across sites, so every region has big and
+  /// small boxes.
+  static GeoModel regions(int num_domains, int num_servers, int num_regions,
+                          double intra_rtt_sec, double inter_rtt_sec);
+
+  int num_domains() const { return static_cast<int>(rtt_.size()); }
+  int num_servers() const {
+    return rtt_.empty() ? 0 : static_cast<int>(rtt_.front().size());
+  }
+
+  /// Round-trip time between a client of `domain` and `server`.
+  double rtt(web::DomainId domain, web::ServerId server) const {
+    return rtt_.at(static_cast<std::size_t>(domain)).at(static_cast<std::size_t>(server));
+  }
+
+  /// Servers of minimal RTT for a domain (the domain's "local" servers).
+  std::vector<web::ServerId> nearest_servers(web::DomainId domain) const;
+
+  /// Mean RTT a domain would see under uniform server choice.
+  double mean_rtt(web::DomainId domain) const;
+
+ private:
+  std::vector<std::vector<double>> rtt_;
+};
+
+}  // namespace adattl::geo

@@ -1,0 +1,87 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+
+namespace adattl::sim {
+
+EventHandle EventQueue::schedule(SimTime at, Callback cb) {
+  assert(cb && "cannot schedule an empty callback");
+  const std::uint64_t seq = next_seq_++;
+  heap_.push_back(Entry{at, seq, std::move(cb)});
+  slot_of_.resize(next_seq_, kNoSlot);
+  slot_of_[seq] = heap_.size() - 1;
+  ++live_;
+  sift_up(heap_.size() - 1);
+  return EventHandle{seq};
+}
+
+bool EventQueue::cancel(EventHandle h) {
+  if (h.id == 0 || h.id >= slot_of_.size()) return false;
+  const std::size_t slot = slot_of_[h.id];
+  if (slot == kNoSlot) return false;
+  heap_[slot].cb = nullptr;  // lazy removal; heap order keys are untouched
+  slot_of_[h.id] = kNoSlot;
+  --live_;
+  return true;
+}
+
+SimTime EventQueue::next_time() {
+  drop_dead_top();
+  assert(!heap_.empty());
+  return heap_.front().time;
+}
+
+std::pair<SimTime, EventQueue::Callback> EventQueue::pop() {
+  drop_dead_top();
+  assert(!heap_.empty());
+  Entry top = std::move(heap_.front());
+  slot_of_[top.seq] = kNoSlot;
+  --live_;
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    if (heap_.front().cb) slot_of_[heap_.front().seq] = 0;
+    sift_down(0);
+  }
+  return {top.time, std::move(top.cb)};
+}
+
+void EventQueue::drop_dead_top() {
+  while (!heap_.empty() && !heap_.front().cb) {
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      if (heap_.front().cb) slot_of_[heap_.front().seq] = 0;
+      sift_down(0);
+    }
+  }
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!later(heap_[parent], heap_[i])) break;
+    std::swap(heap_[parent], heap_[i]);
+    if (heap_[parent].cb) slot_of_[heap_[parent].seq] = parent;
+    if (heap_[i].cb) slot_of_[heap_[i].seq] = i;
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t smallest = i;
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    if (l < n && later(heap_[smallest], heap_[l])) smallest = l;
+    if (r < n && later(heap_[smallest], heap_[r])) smallest = r;
+    if (smallest == i) return;
+    std::swap(heap_[smallest], heap_[i]);
+    if (heap_[smallest].cb) slot_of_[heap_[smallest].seq] = smallest;
+    if (heap_[i].cb) slot_of_[heap_[i].seq] = i;
+    i = smallest;
+  }
+}
+
+}  // namespace adattl::sim

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace adattl::sim {
+
+/// Opaque handle to a scheduled event, usable to cancel it.
+///
+/// Handles are never reused within one EventQueue instance, so a stale
+/// handle (for an event that already fired or was cancelled) is safely
+/// ignored by cancel().
+struct EventHandle {
+  std::uint64_t id = 0;
+
+  friend bool operator==(EventHandle a, EventHandle b) { return a.id == b.id; }
+  explicit operator bool() const { return id != 0; }
+};
+
+/// Min-heap of timestamped callbacks with stable FIFO ordering among
+/// events scheduled for the same instant (ties break by insertion order,
+/// which keeps simulations deterministic for a fixed seed).
+///
+/// Cancellation is lazy: cancel() marks the event dead and pop() skips
+/// dead entries, so both operations stay O(log n) amortized.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` at absolute time `at`. Precondition: `at` must not be
+  /// in the past relative to the last popped event (checked by Simulator).
+  EventHandle schedule(SimTime at, Callback cb);
+
+  /// Cancels a pending event. Returns true if the event was still pending.
+  bool cancel(EventHandle h);
+
+  /// True if no live events remain.
+  bool empty() const { return live_ == 0; }
+
+  /// Number of live (non-cancelled, not yet fired) events.
+  std::size_t size() const { return live_; }
+
+  /// Timestamp of the earliest live event. Precondition: !empty().
+  SimTime next_time();
+
+  /// Removes and returns the earliest live event. Precondition: !empty().
+  std::pair<SimTime, Callback> pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  // tie-breaker: lower seq fires first
+    Callback cb;        // empty == cancelled
+  };
+
+  // Heap ordering: earliest time first, then earliest seq.
+  static bool later(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void drop_dead_top();
+
+  std::vector<Entry> heap_;
+  // Maps live event ids to their heap slot so cancel() can find them.
+  // Entry seq doubles as the handle id.
+  std::vector<std::size_t> slot_of_;  // indexed by seq; npos if dead/fired
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_ = 0;
+
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+};
+
+}  // namespace adattl::sim

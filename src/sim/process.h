@@ -1,0 +1,91 @@
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <memory>
+
+#include "sim/simulator.h"
+
+namespace adattl::sim {
+
+/// Process-oriented front-end to the event kernel (CSIM's programming
+/// model): write model logic as a coroutine that `co_await delay(sim, t)`s
+/// instead of hand-scheduling callbacks.
+///
+///     sim::Process client(sim::Simulator& sim, Server& server) {
+///       for (;;) {
+///         server.request();
+///         co_await sim::delay(sim, think_time());
+///       }
+///     }
+///
+/// Semantics:
+///  * the coroutine starts running immediately (initial_suspend never) and
+///    owns itself; the returned Process is a handle for done() queries and
+///    may be dropped freely;
+///  * each `co_await delay(...)` parks the coroutine as one simulator
+///    event; if the simulator is destroyed before that event fires, the
+///    coroutine frame is destroyed too (no leak on early teardown);
+///  * exceptions escaping a process terminate the program — model code is
+///    expected to be noexcept in spirit, like any event callback.
+class Process {
+ public:
+  struct promise_type {
+    std::shared_ptr<bool> done = std::make_shared<bool>(false);
+
+    Process get_return_object() { return Process(done); }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() { *done = true; }
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  /// True once the coroutine ran to completion (endless processes never do).
+  bool done() const { return *done_; }
+
+ private:
+  explicit Process(std::shared_ptr<bool> done) : done_(std::move(done)) {}
+  std::shared_ptr<bool> done_;
+};
+
+/// Awaitable returned by delay(); resumes the coroutine after the given
+/// simulated delay. Destroys the coroutine if the event dies unfired
+/// (simulator teardown), so half-finished processes cannot leak.
+class DelayAwaiter {
+ public:
+  DelayAwaiter(Simulator& sim, SimTime delay) : sim_(sim), delay_(delay) {}
+
+  bool await_ready() const noexcept { return false; }
+
+  void await_suspend(std::coroutine_handle<> h) {
+    struct Token {
+      explicit Token(std::coroutine_handle<> hh) : handle(hh) {}
+      Token(const Token&) = delete;
+      Token& operator=(const Token&) = delete;
+      ~Token() {
+        if (!fired && handle) handle.destroy();
+      }
+      std::coroutine_handle<> handle;
+      bool fired = false;
+    };
+    auto token = std::make_shared<Token>(h);
+    sim_.after(delay_, [token] {
+      token->fired = true;
+      token->handle.resume();
+    });
+  }
+
+  void await_resume() const noexcept {}
+
+ private:
+  Simulator& sim_;
+  SimTime delay_;
+};
+
+/// `co_await delay(sim, 5.0)` — suspend the calling process for 5
+/// simulated seconds.
+inline DelayAwaiter delay(Simulator& sim, SimTime seconds) {
+  return DelayAwaiter(sim, seconds);
+}
+
+}  // namespace adattl::sim

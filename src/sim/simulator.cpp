@@ -1,0 +1,32 @@
+#include "sim/simulator.h"
+
+namespace adattl::sim {
+
+std::uint64_t Simulator::run_until(SimTime end) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.next_time() <= end) {
+    auto [t, cb] = queue_.pop();
+    now_ = t;
+    cb();
+    ++n;
+  }
+  // Advance the clock to the horizon even if the queue drained early, so
+  // time-weighted statistics close their final interval at `end`.
+  if (now_ < end) now_ = end;
+  dispatched_ += n;
+  return n;
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t n = 0;
+  while (!queue_.empty()) {
+    auto [t, cb] = queue_.pop();
+    now_ = t;
+    cb();
+    ++n;
+  }
+  dispatched_ += n;
+  return n;
+}
+
+}  // namespace adattl::sim

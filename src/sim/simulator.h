@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace adattl::sim {
+
+/// Sequential discrete-event simulator.
+///
+/// Components schedule callbacks at absolute or relative simulated times;
+/// run_until()/run() dispatch them in timestamp order (FIFO among equal
+/// timestamps). This is the CSIM-replacement kernel the whole model runs
+/// on: clients, servers, monitors and the DNS are all just event closures.
+///
+/// The kernel is single-threaded by design — runs are deterministic given
+/// a fixed seed, which the statistics methodology (replications with
+/// distinct seeds) relies on.
+class Simulator {
+ public:
+  /// Current simulated time in seconds.
+  SimTime now() const { return now_; }
+
+  /// Schedules `cb` to run at absolute time `at`; throws std::invalid_argument
+  /// if `at` lies in the past.
+  EventHandle at(SimTime at, EventQueue::Callback cb) {
+    if (at < now_) throw std::invalid_argument("Simulator::at: time in the past");
+    return queue_.schedule(at, std::move(cb));
+  }
+
+  /// Schedules `cb` to run `delay` seconds from now; negative delays throw.
+  EventHandle after(SimTime delay, EventQueue::Callback cb) {
+    return at(now_ + delay, std::move(cb));
+  }
+
+  /// Cancels a pending event; returns true if it was still pending.
+  bool cancel(EventHandle h) { return queue_.cancel(h); }
+
+  /// Runs events until the queue is exhausted or simulated time would pass
+  /// `end`. Events exactly at `end` are executed. Returns the number of
+  /// events dispatched.
+  std::uint64_t run_until(SimTime end);
+
+  /// Runs until the queue is exhausted.
+  std::uint64_t run();
+
+  /// Total events dispatched since construction.
+  std::uint64_t events_dispatched() const { return dispatched_; }
+
+  /// Live events still pending.
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace adattl::sim

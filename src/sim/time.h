@@ -1,0 +1,16 @@
+#pragma once
+
+namespace adattl::sim {
+
+/// Simulated time, in seconds since the start of the run.
+///
+/// A plain double keeps the kernel simple and is precise enough for this
+/// model: runs last ~1.8e4 simulated seconds, far below the ~2^53 ULP
+/// boundary where double-second arithmetic would lose sub-microsecond
+/// resolution.
+using SimTime = double;
+
+/// Sentinel for "never" / unset timestamps.
+inline constexpr SimTime kTimeNever = -1.0;
+
+}  // namespace adattl::sim

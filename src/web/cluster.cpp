@@ -1,0 +1,84 @@
+#include "web/cluster.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace adattl::web {
+
+std::vector<double> ClusterSpec::absolute_capacities() const {
+  validate();
+  const double sum = std::accumulate(relative.begin(), relative.end(), 0.0);
+  std::vector<double> out(relative.size());
+  for (std::size_t i = 0; i < relative.size(); ++i) {
+    out[i] = total_capacity_hits_per_sec * relative[i] / sum;
+  }
+  return out;
+}
+
+double ClusterSpec::heterogeneity_percent() const {
+  validate();
+  const auto [mn, mx] = std::minmax_element(relative.begin(), relative.end());
+  return 100.0 * (*mx - *mn);
+}
+
+double ClusterSpec::power_ratio() const {
+  validate();
+  return relative.front() / relative.back();
+}
+
+void ClusterSpec::validate() const {
+  if (relative.empty()) throw std::invalid_argument("ClusterSpec: no servers");
+  if (total_capacity_hits_per_sec <= 0) {
+    throw std::invalid_argument("ClusterSpec: total capacity must be > 0");
+  }
+  if (relative.front() != 1.0) {
+    throw std::invalid_argument("ClusterSpec: alpha_1 must be 1 (S_1 is the most powerful)");
+  }
+  for (std::size_t i = 0; i < relative.size(); ++i) {
+    if (relative[i] <= 0.0 || relative[i] > 1.0) {
+      throw std::invalid_argument("ClusterSpec: relative capacities must lie in (0, 1]");
+    }
+    if (i > 0 && relative[i] > relative[i - 1]) {
+      throw std::invalid_argument("ClusterSpec: servers must be sorted by decreasing capacity");
+    }
+  }
+}
+
+ClusterSpec table2_cluster(int level_percent) {
+  ClusterSpec spec;
+  switch (level_percent) {
+    case 0:
+      spec.relative = {1, 1, 1, 1, 1, 1, 1};
+      break;
+    case 20:
+      spec.relative = {1, 1, 1, 0.8, 0.8, 0.8, 0.8};
+      break;
+    case 35:
+      spec.relative = {1, 1, 0.8, 0.8, 0.65, 0.65, 0.65};
+      break;
+    case 50:
+      spec.relative = {1, 1, 0.8, 0.8, 0.5, 0.5, 0.5};
+      break;
+    case 65:
+      spec.relative = {1, 1, 0.8, 0.8, 0.35, 0.35, 0.35};
+      break;
+    default:
+      throw std::invalid_argument("table2_cluster: level must be one of 0/20/35/50/65");
+  }
+  return spec;
+}
+
+std::vector<int> table2_levels() { return {0, 20, 35, 50, 65}; }
+
+Cluster::Cluster(sim::Simulator& sim, const ClusterSpec& spec, int num_domains,
+                 sim::RngStream& seed_source)
+    : spec_(spec), capacities_(spec.absolute_capacities()) {
+  servers_.reserve(capacities_.size());
+  for (std::size_t i = 0; i < capacities_.size(); ++i) {
+    servers_.push_back(std::make_unique<WebServer>(
+        sim, static_cast<ServerId>(i), capacities_[i], num_domains, seed_source.split()));
+  }
+}
+
+}  // namespace adattl::web

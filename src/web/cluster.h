@@ -1,0 +1,70 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "web/web_server.h"
+
+namespace adattl::web {
+
+/// Static description of a heterogeneous server cluster.
+///
+/// `relative` holds α_i = C_i / C_1, sorted non-increasing (paper
+/// convention: servers numbered in decreasing processing capacity).
+/// Absolute capacities scale the α so the total equals
+/// `total_capacity_hits_per_sec` — the paper keeps the total fixed at
+/// 500 hits/s across heterogeneity levels so comparisons are fair.
+struct ClusterSpec {
+  std::vector<double> relative;
+  double total_capacity_hits_per_sec = 500.0;
+
+  int size() const { return static_cast<int>(relative.size()); }
+
+  /// Absolute capacities C_i (hits/s), summing to the configured total.
+  std::vector<double> absolute_capacities() const;
+
+  /// Heterogeneity level as the paper defines it: the maximum difference
+  /// among relative server capacities, in percent (e.g. 20.0 for {1,...,0.8}).
+  double heterogeneity_percent() const;
+
+  /// Power ratio ρ = C_1 / C_N, the paper's degree-of-heterogeneity measure.
+  double power_ratio() const;
+
+  /// Validates invariants (non-empty, sorted non-increasing, α_1 == 1,
+  /// all α in (0, 1]); throws std::invalid_argument on violation.
+  void validate() const;
+};
+
+/// The paper's Table 2 presets for N = 7 servers (plus the homogeneous
+/// 0% baseline). `level_percent` ∈ {0, 20, 35, 50, 65}.
+ClusterSpec table2_cluster(int level_percent);
+
+/// All Table 2 heterogeneity levels in ascending order, including 0%.
+std::vector<int> table2_levels();
+
+/// A live cluster: the servers plus their spec.
+class Cluster {
+ public:
+  /// Builds one WebServer per spec entry; each server gets an independent
+  /// child RNG stream.
+  Cluster(sim::Simulator& sim, const ClusterSpec& spec, int num_domains,
+          sim::RngStream& seed_source);
+
+  int size() const { return static_cast<int>(servers_.size()); }
+  WebServer& server(ServerId i) { return *servers_.at(static_cast<std::size_t>(i)); }
+  const WebServer& server(ServerId i) const { return *servers_.at(static_cast<std::size_t>(i)); }
+  const ClusterSpec& spec() const { return spec_; }
+
+  /// Capacities C_i, index == ServerId.
+  const std::vector<double>& capacities() const { return capacities_; }
+
+ private:
+  ClusterSpec spec_;
+  std::vector<double> capacities_;
+  std::vector<std::unique_ptr<WebServer>> servers_;
+};
+
+}  // namespace adattl::web

@@ -1,0 +1,60 @@
+#include "web/dispatcher.h"
+
+#include <stdexcept>
+
+namespace adattl::web {
+
+RedirectingDispatcher::RedirectingDispatcher(sim::Simulator& sim, Cluster& cluster,
+                                             double max_wait_sec, double redirect_delay_sec,
+                                             double mean_hits_per_page)
+    : sim_(sim),
+      cluster_(cluster),
+      max_wait_sec_(max_wait_sec),
+      redirect_delay_sec_(redirect_delay_sec),
+      mean_hits_per_page_(mean_hits_per_page) {
+  if (max_wait_sec <= 0) throw std::invalid_argument("redirection: max wait must be > 0");
+  if (redirect_delay_sec < 0) throw std::invalid_argument("redirection: delay must be >= 0");
+  if (mean_hits_per_page <= 0) throw std::invalid_argument("redirection: bad mean page size");
+}
+
+double RedirectingDispatcher::backlog_sec(ServerId s) const {
+  // Queue length in pages x mean hits per page / capacity: the expected
+  // wait a newly queued page faces. Uses the true instantaneous queue —
+  // servers know their own backlog exactly (unlike the DNS).
+  const WebServer& server = cluster_.server(s);
+  return static_cast<double>(server.queue_length()) * mean_hits_per_page_ /
+         server.capacity();
+}
+
+ServerId RedirectingDispatcher::least_loaded() const {
+  ServerId best = 0;
+  double best_backlog = backlog_sec(0);
+  for (int s = 1; s < cluster_.size(); ++s) {
+    const double b = backlog_sec(s);
+    if (b < best_backlog) {
+      best = s;
+      best_backlog = b;
+    }
+  }
+  return best;
+}
+
+void RedirectingDispatcher::dispatch(ServerId target, PageRequest request) {
+  if (backlog_sec(target) > max_wait_sec_) {
+    const ServerId alternative = least_loaded();
+    if (alternative != target) {
+      ++redirects_;
+      // One extra hop; never redirected again (the alternative queues it
+      // whatever its state — no ping-pong).
+      sim_.after(redirect_delay_sec_,
+                 [this, alternative, req = std::move(request)]() mutable {
+                   cluster_.server(alternative).submit_page(std::move(req));
+                 });
+      return;
+    }
+  }
+  ++direct_;
+  cluster_.server(target).submit_page(std::move(request));
+}
+
+}  // namespace adattl::web

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace adattl::web {
+
+/// Index of a Web server within the distributed site, 0-based; servers are
+/// numbered in decreasing capacity (S_1 is index 0), matching the paper.
+using ServerId = int;
+
+/// Index of a client domain, 0-based; domains are numbered in decreasing
+/// popularity (domain 0 is the busiest under Zipf rank 1).
+using DomainId = int;
+
+/// One page request: a burst of `hits` HTTP hits (the HTML page plus its
+/// embedded objects) served back-to-back by one server.
+struct PageRequest {
+  DomainId domain = 0;
+  int hits = 1;
+  /// Invoked when the last hit of the page has been served.
+  std::function<void()> on_complete;
+};
+
+}  // namespace adattl::web

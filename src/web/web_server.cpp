@@ -1,0 +1,78 @@
+#include "web/web_server.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace adattl::web {
+
+WebServer::WebServer(sim::Simulator& sim, ServerId id, double capacity_hits_per_sec,
+                     int num_domains, sim::RngStream rng)
+    : sim_(sim),
+      id_(id),
+      capacity_(capacity_hits_per_sec),
+      rng_(rng),
+      window_hits_(static_cast<std::size_t>(num_domains), 0),
+      lifetime_hits_(static_cast<std::size_t>(num_domains), 0) {
+  if (capacity_hits_per_sec <= 0) throw std::invalid_argument("WebServer: capacity must be > 0");
+  if (num_domains <= 0) throw std::invalid_argument("WebServer: num_domains must be >= 1");
+}
+
+void WebServer::submit_page(PageRequest req) {
+  if (req.hits <= 0) throw std::invalid_argument("WebServer: page must carry >= 1 hit");
+  const auto d = static_cast<std::size_t>(req.domain);
+  if (d >= window_hits_.size()) throw std::out_of_range("WebServer: unknown domain");
+
+  // Load is accounted at arrival: this is when the mapping decision made by
+  // the DNS manifests as demand on this server.
+  window_hits_[d] += static_cast<std::uint64_t>(req.hits);
+  lifetime_hits_[d] += static_cast<std::uint64_t>(req.hits);
+
+  queue_.push_back(Job{std::move(req), sim_.now()});
+  if (!busy_ && !paused_) start_next();
+}
+
+void WebServer::set_paused(bool paused) {
+  paused_ = paused;
+  if (!paused_ && !busy_ && !queue_.empty()) start_next();
+}
+
+void WebServer::start_next() {
+  current_ = std::move(queue_.front());
+  queue_.pop_front();
+  busy_ = true;
+  service_start_ = sim_.now();
+  const int h = current_.req.hits;
+  const double service = rng_.erlang(h, static_cast<double>(h) / capacity_);
+  service_end_ = service_start_ + service;
+  sim_.at(service_end_, [this] { finish_current(); });
+}
+
+void WebServer::finish_current() {
+  closed_busy_time_ += sim_.now() - service_start_;
+  busy_ = false;
+
+  pages_served_++;
+  hits_served_ += static_cast<std::uint64_t>(current_.req.hits);
+  response_time_.add(sim_.now() - current_.arrival);
+  response_hist_.add(sim_.now() - current_.arrival);
+
+  // Detach the completion callback before dequeueing the next job so a
+  // callback that immediately submits another page sees consistent state.
+  auto done = std::move(current_.req.on_complete);
+  if (!queue_.empty() && !paused_) start_next();
+  if (done) done();
+}
+
+double WebServer::cumulative_busy_time(sim::SimTime now) const {
+  double busy = closed_busy_time_;
+  if (busy_) busy += std::min(now, service_end_) - service_start_;
+  return busy;
+}
+
+std::vector<std::uint64_t> WebServer::drain_domain_hits() {
+  std::vector<std::uint64_t> out(window_hits_.size(), 0);
+  out.swap(window_hits_);
+  return out;
+}
+
+}  // namespace adattl::web

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+#include "web/types.h"
+
+namespace adattl::web {
+
+/// One heterogeneous Web server: a FIFO queue serving hit bursts at
+/// `capacity` hits per second.
+///
+/// A page of h hits is served as a single Erlang(h, h/capacity) interval —
+/// statistically identical to h back-to-back exponential hit services but
+/// one event instead of h. The server keeps the accounting the DNS
+/// algorithms need: cumulative busy time (for interval utilization) and
+/// per-domain hit counts (the raw material of hidden-load estimation).
+class WebServer {
+ public:
+  WebServer(sim::Simulator& sim, ServerId id, double capacity_hits_per_sec,
+            int num_domains, sim::RngStream rng);
+
+  WebServer(const WebServer&) = delete;
+  WebServer& operator=(const WebServer&) = delete;
+
+  ServerId id() const { return id_; }
+  double capacity() const { return capacity_; }
+
+  /// Enqueues a page; its completion callback fires when all hits are served.
+  void submit_page(PageRequest req);
+
+  /// Pauses/resumes service (outage injection). A paused server keeps
+  /// accepting and queueing pages — the failure is silent from the DNS's
+  /// point of view — and the in-flight page finishes, but no new service
+  /// starts until resume. Utilization collapses toward zero during an
+  /// outage, which is exactly why utilization-only alarm feedback cannot
+  /// detect it (see AlarmRegistry's queue threshold).
+  void set_paused(bool paused);
+  bool paused() const { return paused_; }
+
+  /// Total busy seconds since construction, up to `now` (includes the
+  /// in-progress service prorated to `now`).
+  double cumulative_busy_time(sim::SimTime now) const;
+
+  /// Pages waiting or in service.
+  std::size_t queue_length() const { return queue_.size() + (busy_ ? 1 : 0); }
+
+  /// Per-domain hit counts accumulated since the last drain; drains them.
+  /// Index = DomainId. This is the periodic report the DNS collects to
+  /// estimate hidden load weights.
+  std::vector<std::uint64_t> drain_domain_hits();
+
+  /// Per-domain hit counts since construction (never reset).
+  const std::vector<std::uint64_t>& lifetime_domain_hits() const { return lifetime_hits_; }
+
+  std::uint64_t pages_served() const { return pages_served_; }
+  std::uint64_t hits_served() const { return hits_served_; }
+
+  /// Page response time (queueing + service) statistics.
+  const sim::RunningStat& response_time() const { return response_time_; }
+
+  /// Response-time histogram (0–30 s range, 10 ms bins) for percentile
+  /// queries; merge across servers for a site-wide view.
+  const sim::Histogram& response_histogram() const { return response_hist_; }
+
+ private:
+  struct Job {
+    PageRequest req;
+    sim::SimTime arrival;
+  };
+
+  void start_next();
+  void finish_current();
+
+  sim::Simulator& sim_;
+  ServerId id_;
+  double capacity_;
+  sim::RngStream rng_;
+
+  std::deque<Job> queue_;
+  bool busy_ = false;
+  bool paused_ = false;
+  Job current_{};
+  sim::SimTime service_start_ = 0.0;
+  sim::SimTime service_end_ = 0.0;
+
+  double closed_busy_time_ = 0.0;
+
+  std::vector<std::uint64_t> window_hits_;    // drained by the estimator
+  std::vector<std::uint64_t> lifetime_hits_;  // never reset
+  std::uint64_t pages_served_ = 0;
+  std::uint64_t hits_served_ = 0;
+  sim::RunningStat response_time_;
+  sim::Histogram response_hist_{30.0, 3000};
+};
+
+}  // namespace adattl::web

@@ -1,0 +1,125 @@
+#include "workload/client.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace adattl::workload {
+
+void SessionProfile::validate() const {
+  if (mean_pages_per_session < 1.0) {
+    throw std::invalid_argument("SessionProfile: mean pages must be >= 1");
+  }
+  if (min_hits_per_page < 1 || max_hits_per_page < min_hits_per_page) {
+    throw std::invalid_argument("SessionProfile: bad hits-per-page range");
+  }
+  if (pareto_shape <= 0.0) {
+    throw std::invalid_argument("SessionProfile: Pareto shape must be > 0");
+  }
+}
+
+int SessionProfile::sample_hits(sim::RngStream& rng) const {
+  switch (hits_distribution) {
+    case HitsDistribution::kUniform:
+      return static_cast<int>(rng.uniform_int(min_hits_per_page, max_hits_per_page));
+    case HitsDistribution::kPareto: {
+      // Bounded Pareto on [L, H] by inverse-CDF; heavy lower-tail mass with
+      // occasional near-H bursts — the Arlitt/Williamson-style alternative.
+      const double a = pareto_shape;
+      const double l = static_cast<double>(min_hits_per_page);
+      const double h = static_cast<double>(max_hits_per_page) + 1.0;  // include H after floor
+      const double u = rng.next_double();
+      const double la = std::pow(l, a);
+      const double ha = std::pow(h, a);
+      const double x = std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / a);
+      const int hits = static_cast<int>(x);
+      return std::min(std::max(hits, min_hits_per_page), max_hits_per_page);
+    }
+  }
+  throw std::logic_error("SessionProfile: unknown hits distribution");
+}
+
+double SessionProfile::mean_hits_per_page() const {
+  switch (hits_distribution) {
+    case HitsDistribution::kUniform:
+      return 0.5 * (min_hits_per_page + max_hits_per_page);
+    case HitsDistribution::kPareto: {
+      // Mean of the continuous bounded Pareto; close enough for load math.
+      const double a = pareto_shape;
+      const double l = static_cast<double>(min_hits_per_page);
+      const double h = static_cast<double>(max_hits_per_page) + 1.0;
+      if (a == 1.0) return l * h / (h - l) * std::log(h / l);
+      const double la = std::pow(l, a);
+      const double ha = std::pow(h, a);
+      return la / (1.0 - la / ha) * (a / (a - 1.0)) *
+             (1.0 / std::pow(l, a - 1.0) - 1.0 / std::pow(h, a - 1.0));
+    }
+  }
+  throw std::logic_error("SessionProfile: unknown hits distribution");
+}
+
+Client::Client(sim::Simulator& sim, dnscache::Resolver& ns, web::PageDispatcher& dispatcher,
+               const SessionProfile& profile, const ThinkTimeModel& think, sim::RngStream rng,
+               const geo::GeoModel* geo)
+    : sim_(sim),
+      ns_(ns),
+      dispatcher_(dispatcher),
+      profile_(profile),
+      think_(think),
+      rng_(rng),
+      geo_(geo) {
+  profile_.validate();
+  if (ns.domain() < 0 || ns.domain() >= think.num_domains()) {
+    throw std::invalid_argument("Client: resolver domain outside think-time model");
+  }
+  if (geo_ && geo_->num_domains() <= ns.domain()) {
+    throw std::invalid_argument("Client: resolver domain outside geo model");
+  }
+}
+
+void Client::start(double initial_delay) {
+  sim_.after(initial_delay, [this] { begin_session(); });
+}
+
+void Client::begin_session() {
+  ++sessions_;
+  mapped_server_ = ns_.resolve();
+  pages_left_ = rng_.geometric_min1(profile_.mean_pages_per_session);
+  request_page();
+}
+
+void Client::request_page() {
+  ++pages_;
+  --pages_left_;
+  const int hits = profile_.sample_hits(rng_);
+  const double rtt = geo_ ? geo_->rtt(ns_.domain(), mapped_server_) : 0.0;
+  auto deliver = [this, hits] {
+    dispatcher_.dispatch(mapped_server_,
+                         web::PageRequest{ns_.domain(), hits, [this] { on_server_complete(); }});
+  };
+  if (rtt > 0.0) {
+    network_time_ += rtt;
+    sim_.after(rtt / 2.0, deliver);  // request flies to the server...
+  } else {
+    deliver();
+  }
+}
+
+void Client::on_server_complete() {
+  const double rtt = geo_ ? geo_->rtt(ns_.domain(), mapped_server_) : 0.0;
+  if (rtt > 0.0) {
+    sim_.after(rtt / 2.0, [this] { on_page_complete(); });  // ...and back
+  } else {
+    on_page_complete();
+  }
+}
+
+void Client::on_page_complete() {
+  const double think = think_.sample(ns_.domain(), rng_);
+  if (pages_left_ > 0) {
+    sim_.after(think, [this] { request_page(); });
+  } else {
+    sim_.after(think, [this] { begin_session(); });
+  }
+}
+
+}  // namespace adattl::workload

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+
+#include "dnscache/resolver.h"
+#include "geo/geo_model.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "web/dispatcher.h"
+#include "workload/think_time_model.h"
+
+namespace adattl::workload {
+
+/// How many hits a page request carries.
+enum class HitsDistribution {
+  kUniform,  ///< uniform integer in [min, max] — the paper's model
+  kPareto,   ///< bounded Pareto on [min, max] — heavy-tailed extension
+};
+
+/// Parameters of one client session (paper §4.1 / Table 1).
+struct SessionProfile {
+  double mean_pages_per_session = 20.0;  ///< geometric (discrete exponential)
+  int min_hits_per_page = 5;             ///< hits per page bounds
+  int max_hits_per_page = 15;
+  HitsDistribution hits_distribution = HitsDistribution::kUniform;
+  /// Tail index for the Pareto option (smaller = heavier tail).
+  double pareto_shape = 1.5;
+
+  void validate() const;
+
+  /// Draws one page's hit count.
+  int sample_hits(sim::RngStream& rng) const;
+
+  /// Mean hits per page under the configured distribution.
+  double mean_hits_per_page() const;
+};
+
+/// One Web client, driven entirely by simulator events.
+///
+/// Lifecycle (paper §4.1): a session opens with a single address
+/// resolution through the domain's name server, then issues a geometric
+/// number of page requests — each a burst of hits — separated by
+/// exponential think times; the next session re-resolves (possibly served
+/// from the NS cache) and repeats forever.
+///
+/// The client holds its mapping for the whole session even if the TTL
+/// expires mid-session. This client-side caching is what spreads a
+/// domain's load across the servers chosen in successive TTL windows, and
+/// is the mechanism adaptive TTL policies exploit.
+///
+/// Think times are sampled through the shared ThinkTimeModel, so scripted
+/// rate shifts (flash crowds) apply to every client of a domain from its
+/// next think period onward.
+class Client {
+ public:
+  /// `geo` (optional) adds network round-trip time to every page: the
+  /// request travels rtt/2 before reaching the server and the reply
+  /// travels rtt/2 back, so client-perceived response = rtt + server time.
+  Client(sim::Simulator& sim, dnscache::Resolver& ns, web::PageDispatcher& dispatcher,
+         const SessionProfile& profile, const ThinkTimeModel& think, sim::RngStream rng,
+         const geo::GeoModel* geo = nullptr);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Schedules the first session `initial_delay` seconds from now
+  /// (staggered starts avoid a synchronized stampede at t = 0).
+  void start(double initial_delay);
+
+  std::uint64_t sessions_started() const { return sessions_; }
+  std::uint64_t pages_requested() const { return pages_; }
+
+  /// Total network round-trip seconds this client's pages spent in flight
+  /// (0 without a geo model).
+  double network_time_sec() const { return network_time_; }
+
+ private:
+  void begin_session();
+  void request_page();
+  void on_server_complete();
+  void on_page_complete();
+
+  sim::Simulator& sim_;
+  dnscache::Resolver& ns_;
+  web::PageDispatcher& dispatcher_;
+  SessionProfile profile_;
+  const ThinkTimeModel& think_;
+  sim::RngStream rng_;
+  const geo::GeoModel* geo_;
+  double network_time_ = 0.0;
+
+  web::ServerId mapped_server_ = -1;
+  int pages_left_ = 0;
+  std::uint64_t sessions_ = 0;
+  std::uint64_t pages_ = 0;
+};
+
+}  // namespace adattl::workload

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/random.h"
+#include "web/types.h"
+
+namespace adattl::workload {
+
+/// Source of client think times, with support for *dynamic* per-domain
+/// rate changes (the paper's conclusions single out "intrinsic high load
+/// skews and dynamic variations" as the environment adaptive TTL targets).
+///
+/// Each domain has a base mean think time; a runtime multiplier scales the
+/// domain's request *rate* (rate x f ⇒ think / f). The experiment layer
+/// schedules multiplier changes (flash crowds, load shifts) as simulator
+/// events; clients sample through this model so changes take effect on
+/// their next think period, with no per-client bookkeeping.
+class ThinkTimeModel {
+ public:
+  explicit ThinkTimeModel(std::vector<double> base_mean_think_sec);
+
+  int num_domains() const { return static_cast<int>(base_.size()); }
+
+  /// Current mean think time of a domain (base / rate multiplier).
+  double mean_think(web::DomainId d) const;
+
+  /// Draws one exponential think time for a client of domain `d`.
+  double sample(web::DomainId d, sim::RngStream& rng) const;
+
+  /// Scales domain `d`'s request rate by `factor` (> 0), composing with
+  /// any previous scaling. factor > 1 = hotter, < 1 = cooler.
+  void scale_rate(web::DomainId d, double factor);
+
+  /// Resets domain `d` to its base rate.
+  void reset_rate(web::DomainId d);
+
+  double rate_multiplier(web::DomainId d) const {
+    return multiplier_.at(static_cast<std::size_t>(d));
+  }
+
+ private:
+  std::vector<double> base_;
+  std::vector<double> multiplier_;
+};
+
+/// One scheduled workload change: at `at_sec`, multiply domain
+/// `domain`'s request rate by `rate_factor`. Used by SimulationConfig to
+/// script flash crowds.
+struct RateShift {
+  double at_sec = 0.0;
+  web::DomainId domain = 0;
+  double rate_factor = 1.0;
+};
+
+}  // namespace adattl::workload

@@ -1,0 +1,87 @@
+#include "core/alarm_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace adattl::core {
+namespace {
+
+TEST(AlarmRegistry, RejectsBadConstruction) {
+  EXPECT_THROW(AlarmRegistry(0, 0.9), std::invalid_argument);
+  EXPECT_THROW(AlarmRegistry(3, 0.0), std::invalid_argument);
+  EXPECT_THROW(AlarmRegistry(3, 1.5), std::invalid_argument);
+}
+
+TEST(AlarmRegistry, AllEligibleInitially) {
+  AlarmRegistry reg(3, 0.9);
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_FALSE(reg.is_alarmed(s));
+    EXPECT_TRUE(reg.eligible()[static_cast<std::size_t>(s)]);
+  }
+}
+
+TEST(AlarmRegistry, CrossingThresholdRaisesAlarm) {
+  AlarmRegistry reg(3, 0.9);
+  reg.observe(8.0, {0.5, 0.95, 0.2});
+  EXPECT_FALSE(reg.is_alarmed(0));
+  EXPECT_TRUE(reg.is_alarmed(1));
+  EXPECT_FALSE(reg.eligible()[1]);
+  EXPECT_EQ(reg.alarm_signals(), 1u);
+}
+
+TEST(AlarmRegistry, ExactlyAtThresholdIsNotAlarm) {
+  AlarmRegistry reg(1, 0.9);
+  reg.observe(8.0, {0.9});
+  EXPECT_FALSE(reg.is_alarmed(0));
+}
+
+TEST(AlarmRegistry, RecoveryRestoresEligibility) {
+  AlarmRegistry reg(2, 0.9);
+  reg.observe(8.0, {0.95, 0.5});
+  EXPECT_TRUE(reg.is_alarmed(0));
+  reg.observe(16.0, {0.7, 0.5});
+  EXPECT_FALSE(reg.is_alarmed(0));
+  EXPECT_TRUE(reg.eligible()[0]);
+  EXPECT_EQ(reg.alarm_signals(), 1u);
+  EXPECT_EQ(reg.normal_signals(), 1u);
+}
+
+TEST(AlarmRegistry, SustainedOverloadSendsOneSignal) {
+  AlarmRegistry reg(1, 0.9);
+  reg.observe(8.0, {0.95});
+  reg.observe(16.0, {0.99});
+  reg.observe(24.0, {0.92});
+  EXPECT_EQ(reg.alarm_signals(), 1u);  // asynchronous: only on transition
+}
+
+TEST(AlarmRegistry, AllAlarmedFallsBackToAllEligible) {
+  AlarmRegistry reg(3, 0.9);
+  reg.observe(8.0, {0.95, 0.99, 1.0});
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_TRUE(reg.is_alarmed(s));
+    EXPECT_TRUE(reg.eligible()[static_cast<std::size_t>(s)]) << s;
+  }
+}
+
+TEST(AlarmRegistry, PartialRecoveryFromAllAlarmed) {
+  AlarmRegistry reg(2, 0.9);
+  reg.observe(8.0, {0.95, 0.95});
+  reg.observe(16.0, {0.5, 0.95});
+  EXPECT_TRUE(reg.eligible()[0]);
+  EXPECT_FALSE(reg.eligible()[1]);
+}
+
+TEST(AlarmRegistry, DisabledRegistryIgnoresReports) {
+  AlarmRegistry reg(2, 0.9, /*enabled=*/false);
+  reg.observe(8.0, {1.0, 1.0});
+  EXPECT_FALSE(reg.is_alarmed(0));
+  EXPECT_TRUE(reg.eligible()[0]);
+  EXPECT_EQ(reg.alarm_signals(), 0u);
+}
+
+TEST(AlarmRegistry, SizeMismatchThrows) {
+  AlarmRegistry reg(2, 0.9);
+  EXPECT_THROW(reg.observe(8.0, {0.5}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adattl::core

@@ -1,0 +1,151 @@
+#include "workload/client.h"
+
+#include <gtest/gtest.h>
+
+#include "core/policy_factory.h"
+#include "dnscache/name_server.h"
+
+namespace adattl::workload {
+namespace {
+
+/// A minimal self-contained world (2 fast homogeneous servers, RR DNS, one
+/// name server for domain 0) so client behaviour can be observed without
+/// queueing noise.
+struct World {
+  World() : rng(21), alarms(2, 0.9) {
+    web::ClusterSpec spec;
+    spec.relative = {1.0, 1.0};
+    spec.total_capacity_hits_per_sec = 2000.0;
+    cluster = std::make_unique<web::Cluster>(simulator, spec, 3, rng);
+
+    core::SchedulerFactoryConfig fc;
+    fc.capacities = cluster->capacities();
+    fc.initial_weights = {3.0, 2.0, 1.0};
+    fc.class_threshold = 0.25;
+    bundle = core::make_scheduler("RR", fc, alarms, simulator, rng);
+    ns = std::make_unique<dnscache::NameServer>(simulator, 0, *bundle.scheduler);
+    dispatcher = std::make_unique<web::DirectDispatcher>(*cluster);
+  }
+
+  sim::Simulator simulator;
+  sim::RngStream rng;
+  core::AlarmRegistry alarms;
+  std::unique_ptr<web::Cluster> cluster;
+  core::SchedulerBundle bundle;
+  std::unique_ptr<dnscache::NameServer> ns;
+  std::unique_ptr<web::DirectDispatcher> dispatcher;
+};
+
+class ClientTest : public ::testing::Test {
+ protected:
+  World w;
+  SessionProfile profile;
+};
+
+TEST_F(ClientTest, SessionProfileValidation) {
+  SessionProfile p;
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_DOUBLE_EQ(p.mean_hits_per_page(), 10.0);
+  p.mean_pages_per_session = 0.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = SessionProfile{};
+  p.min_hits_per_page = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = SessionProfile{};
+  p.max_hits_per_page = 3;  // below min
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST_F(ClientTest, ClientGeneratesSessionsAndPages) {
+  ThinkTimeModel think({15.0, 15.0, 15.0});
+  Client client(w.simulator, *w.ns, *w.dispatcher, profile, think, w.rng.split());
+  client.start(0.0);
+  w.simulator.run_until(3600.0);
+  EXPECT_GT(client.sessions_started(), 5u);
+  // Mean 20 pages/session at ~15 s per page: roughly 12 sessions/hour.
+  EXPECT_GT(client.pages_requested(), 100u);
+  EXPECT_NEAR(static_cast<double>(client.pages_requested()) /
+                  static_cast<double>(client.sessions_started()),
+              20.0, 8.0);
+}
+
+TEST_F(ClientTest, OneAddressResolutionPerSession) {
+  ThinkTimeModel think({15.0, 15.0, 15.0});
+  Client client(w.simulator, *w.ns, *w.dispatcher, profile, think, w.rng.split());
+  client.start(0.0);
+  w.simulator.run_until(3600.0);
+  const std::uint64_t resolutions = w.ns->cache_hits() + w.ns->authoritative_queries();
+  EXPECT_EQ(resolutions, client.sessions_started());
+}
+
+TEST_F(ClientTest, AllPagesLandOnTheClusterWithValidHitCounts) {
+  ThinkTimeModel think({5.0, 5.0, 5.0});
+  Client client(w.simulator, *w.ns, *w.dispatcher, profile, think, w.rng.split());
+  client.start(0.0);
+  w.simulator.run_until(2000.0);
+  std::uint64_t pages = 0, hits = 0;
+  for (int s = 0; s < w.cluster->size(); ++s) {
+    pages += w.cluster->server(s).pages_served();
+    hits += w.cluster->server(s).hits_served();
+  }
+  EXPECT_GT(pages, 0u);
+  // Uniform 5..15 hits per page: totals must lie inside those bounds.
+  EXPECT_GE(hits, 5 * pages);
+  EXPECT_LE(hits, 15 * pages);
+  // Hit counters attribute everything to this client's domain (0).
+  EXPECT_EQ(w.cluster->server(0).lifetime_domain_hits()[1], 0u);
+  EXPECT_EQ(w.cluster->server(0).lifetime_domain_hits()[2], 0u);
+}
+
+TEST_F(ClientTest, ClientKeepsMappingForWholeSession) {
+  // One client, think time long enough that the NS TTL (240 s) expires
+  // mid-session; the session must keep hitting the same server anyway.
+  SessionProfile long_session;
+  long_session.mean_pages_per_session = 1000.0;  // effectively endless
+  ThinkTimeModel think({50.0, 50.0, 50.0});
+  Client client(w.simulator, *w.ns, *w.dispatcher, long_session, think, w.rng.split());
+  client.start(0.0);
+  w.simulator.run_until(2000.0);  // far past the first TTL
+  // All pages landed on one server: the other served nothing.
+  const std::uint64_t s0 = w.cluster->server(0).pages_served();
+  const std::uint64_t s1 = w.cluster->server(1).pages_served();
+  EXPECT_GT(s0 + s1, 10u);
+  EXPECT_TRUE(s0 == 0 || s1 == 0) << s0 << " vs " << s1;
+}
+
+TEST_F(ClientTest, ThinkTimePacesLoad) {
+  ThinkTimeModel fast_think({1.0, 1.0, 1.0});
+  Client fast(w.simulator, *w.ns, *w.dispatcher, profile, fast_think, w.rng.split());
+  fast.start(0.0);
+  w.simulator.run_until(1000.0);
+
+  World slow_world;
+  ThinkTimeModel slow_think({20.0, 20.0, 20.0});
+  Client slow(slow_world.simulator, *slow_world.ns, *slow_world.dispatcher, profile,
+              slow_think, slow_world.rng.split());
+  slow.start(0.0);
+  slow_world.simulator.run_until(1000.0);
+  EXPECT_GT(fast.pages_requested(), 3 * slow.pages_requested());
+}
+
+TEST_F(ClientTest, RejectsBadThinkTime) {
+  EXPECT_THROW(ThinkTimeModel({0.0}), std::invalid_argument);
+  // A resolver whose domain lies outside the think model is rejected too.
+  ThinkTimeModel too_small({15.0});  // only domain 0... but ns serves domain 0
+  dnscache::NameServer ns3(w.simulator, 2, *w.bundle.scheduler);
+  EXPECT_THROW(Client(w.simulator, ns3, *w.dispatcher, profile, too_small, w.rng.split()),
+               std::invalid_argument);
+}
+
+TEST_F(ClientTest, StartDelayDefersFirstSession) {
+  ThinkTimeModel think({15.0, 15.0, 15.0});
+  Client client(w.simulator, *w.ns, *w.dispatcher, profile, think, w.rng.split());
+  client.start(100.0);
+  w.simulator.run_until(99.0);
+  EXPECT_EQ(client.sessions_started(), 0u);
+  w.simulator.run_until(101.0);
+  EXPECT_EQ(client.sessions_started(), 1u);
+}
+
+}  // namespace
+}  // namespace adattl::workload

@@ -1,0 +1,101 @@
+#include "dnscache/client_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "core/policy_factory.h"
+#include "experiment/site.h"
+
+namespace adattl::dnscache {
+namespace {
+
+class ClientCacheTest : public ::testing::Test {
+ protected:
+  ClientCacheTest() : rng(4), alarms(4, 0.9) {
+    core::SchedulerFactoryConfig fc;
+    fc.capacities = {100.0, 100.0, 100.0, 100.0};
+    fc.initial_weights = {5.0, 3.0, 1.0};
+    fc.class_threshold = 0.2;
+    bundle = core::make_scheduler("RR", fc, alarms, simulator, rng);
+    ns = std::make_unique<NameServer>(simulator, 0, *bundle.scheduler);
+  }
+
+  sim::Simulator simulator;
+  sim::RngStream rng;
+  core::AlarmRegistry alarms;
+  core::SchedulerBundle bundle;
+  std::unique_ptr<NameServer> ns;
+};
+
+TEST_F(ClientCacheTest, FirstResolveGoesUpstream) {
+  ClientCache cc(simulator, *ns);
+  EXPECT_FALSE(cc.has_fresh_mapping());
+  const web::ServerId s = cc.resolve();
+  EXPECT_EQ(s, 0);
+  EXPECT_EQ(cc.upstream_queries(), 1u);
+  EXPECT_EQ(cc.hits(), 0u);
+  EXPECT_TRUE(cc.has_fresh_mapping());
+}
+
+TEST_F(ClientCacheTest, RepeatResolvesServedLocally) {
+  ClientCache cc(simulator, *ns);
+  const web::ServerId first = cc.resolve();
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(cc.resolve(), first);
+  EXPECT_EQ(cc.hits(), 5u);
+  EXPECT_EQ(cc.upstream_queries(), 1u);
+  // The NS saw exactly one query from this client.
+  EXPECT_EQ(ns->cache_hits() + ns->authoritative_queries(), 1u);
+}
+
+TEST_F(ClientCacheTest, InheritsRemainingTtlNotFullTtl) {
+  ClientCache early(simulator, *ns);
+  early.resolve();  // NS mapping created at t=0, expires at 240
+  simulator.run_until(200.0);
+  ClientCache late(simulator, *ns);
+  late.resolve();  // joins at t=200: only 40 s of TTL remain
+  simulator.run_until(239.0);
+  EXPECT_TRUE(late.has_fresh_mapping());
+  simulator.run_until(241.0);
+  // Both expire with the NS entry at t=240, not 200+240.
+  EXPECT_FALSE(early.has_fresh_mapping());
+  EXPECT_FALSE(late.has_fresh_mapping());
+}
+
+TEST_F(ClientCacheTest, RefreshesAfterExpiry) {
+  ClientCache cc(simulator, *ns);
+  const web::ServerId first = cc.resolve();
+  simulator.run_until(241.0);
+  const web::ServerId second = cc.resolve();
+  EXPECT_EQ(cc.upstream_queries(), 2u);
+  EXPECT_NE(first, second);  // RR moved to the next server
+}
+
+TEST_F(ClientCacheTest, TwoClientsShareTheNsMapping) {
+  ClientCache a(simulator, *ns);
+  ClientCache b(simulator, *ns);
+  EXPECT_EQ(a.resolve(), b.resolve());
+  // Only one authoritative query despite two clients.
+  EXPECT_EQ(ns->authoritative_queries(), 1u);
+}
+
+TEST(ClientCacheSite, EnabledCachesAbsorbResolutions) {
+  experiment::SimulationConfig cfg;
+  cfg.policy = "RR";
+  cfg.warmup_sec = 100.0;
+  cfg.duration_sec = 1200.0;
+  cfg.seed = 5;
+  cfg.client_cache_enabled = true;
+  experiment::Site site(cfg);
+  const experiment::RunResult r = site.run();
+  EXPECT_GT(r.client_cache_hits, 0u);
+
+  // Same scenario without client caches: they report zero hits and the NS
+  // absorbs more traffic.
+  cfg.client_cache_enabled = false;
+  experiment::Site site2(cfg);
+  const experiment::RunResult r2 = site2.run();
+  EXPECT_EQ(r2.client_cache_hits, 0u);
+  EXPECT_GT(r2.ns_cache_hits, r.ns_cache_hits);
+}
+
+}  // namespace
+}  // namespace adattl::dnscache

@@ -1,0 +1,91 @@
+#include "web/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace adattl::web {
+namespace {
+
+TEST(ClusterSpec, Table2LevelsMatchPaper) {
+  EXPECT_EQ(table2_cluster(20).relative, (std::vector<double>{1, 1, 1, 0.8, 0.8, 0.8, 0.8}));
+  EXPECT_EQ(table2_cluster(35).relative,
+            (std::vector<double>{1, 1, 0.8, 0.8, 0.65, 0.65, 0.65}));
+  EXPECT_EQ(table2_cluster(50).relative, (std::vector<double>{1, 1, 0.8, 0.8, 0.5, 0.5, 0.5}));
+  EXPECT_EQ(table2_cluster(65).relative,
+            (std::vector<double>{1, 1, 0.8, 0.8, 0.35, 0.35, 0.35}));
+}
+
+TEST(ClusterSpec, HeterogeneityPercentIsMaxSpread) {
+  EXPECT_DOUBLE_EQ(table2_cluster(0).heterogeneity_percent(), 0.0);
+  EXPECT_NEAR(table2_cluster(20).heterogeneity_percent(), 20.0, 1e-9);
+  EXPECT_NEAR(table2_cluster(35).heterogeneity_percent(), 35.0, 1e-9);
+  EXPECT_NEAR(table2_cluster(50).heterogeneity_percent(), 50.0, 1e-9);
+  EXPECT_NEAR(table2_cluster(65).heterogeneity_percent(), 65.0, 1e-9);
+}
+
+TEST(ClusterSpec, AbsoluteCapacitiesSumToTotal) {
+  for (int level : table2_levels()) {
+    const ClusterSpec spec = table2_cluster(level);
+    const std::vector<double> c = spec.absolute_capacities();
+    EXPECT_NEAR(std::accumulate(c.begin(), c.end(), 0.0), 500.0, 1e-9) << "level " << level;
+  }
+}
+
+TEST(ClusterSpec, AbsoluteCapacitiesKeepRatios) {
+  const ClusterSpec spec = table2_cluster(50);
+  const std::vector<double> c = spec.absolute_capacities();
+  EXPECT_NEAR(c[0] / c[6], 2.0, 1e-9);  // 1 / 0.5
+  EXPECT_NEAR(c[0] / c[2], 1.25, 1e-9);
+}
+
+TEST(ClusterSpec, PowerRatio) {
+  EXPECT_NEAR(table2_cluster(65).power_ratio(), 1.0 / 0.35, 1e-9);
+  EXPECT_DOUBLE_EQ(table2_cluster(0).power_ratio(), 1.0);
+}
+
+TEST(ClusterSpec, UnknownLevelThrows) {
+  EXPECT_THROW(table2_cluster(30), std::invalid_argument);
+  EXPECT_THROW(table2_cluster(-1), std::invalid_argument);
+}
+
+TEST(ClusterSpec, ValidateCatchesBadSpecs) {
+  ClusterSpec s;
+  s.relative = {};
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s.relative = {0.8, 1.0};  // alpha_1 must be 1 and sorted descending
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s.relative = {1.0, 1.2};
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s.relative = {1.0, 0.0};
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s.relative = {1.0, 0.5};
+  s.total_capacity_hits_per_sec = 0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s.total_capacity_hits_per_sec = 100;
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(Cluster, BuildsOneServerPerSpecEntry) {
+  sim::Simulator simulator;
+  sim::RngStream rng(77);
+  Cluster cluster(simulator, table2_cluster(35), 20, rng);
+  EXPECT_EQ(cluster.size(), 7);
+  for (int i = 0; i < cluster.size(); ++i) {
+    EXPECT_EQ(cluster.server(i).id(), i);
+    EXPECT_NEAR(cluster.server(i).capacity(),
+                cluster.capacities()[static_cast<std::size_t>(i)], 1e-12);
+  }
+}
+
+TEST(Cluster, ServersAreOrderedByDecreasingCapacity) {
+  sim::Simulator simulator;
+  sim::RngStream rng(78);
+  Cluster cluster(simulator, table2_cluster(65), 5, rng);
+  for (int i = 1; i < cluster.size(); ++i) {
+    EXPECT_GE(cluster.server(i - 1).capacity(), cluster.server(i).capacity());
+  }
+}
+
+}  // namespace
+}  // namespace adattl::web

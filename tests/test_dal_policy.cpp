@@ -1,0 +1,85 @@
+#include "core/dal_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace adattl::core {
+namespace {
+
+class DalPolicyTest : public ::testing::Test {
+ protected:
+  DalPolicyTest() : domains({4.0, 2.0, 1.0, 1.0}, 0.3) {}  // shares .5 .25 .125 .125
+
+  sim::Simulator simulator;
+  DomainModel domains;
+  std::vector<bool> all{true, true, true};
+};
+
+TEST_F(DalPolicyTest, FirstPickIsLowestNormalizedLoad) {
+  DalPolicy dal(simulator, domains, {100.0, 80.0, 50.0});
+  // All accumulated loads zero: ties resolve to the first (largest) server.
+  EXPECT_EQ(dal.select(0, all), 0);
+}
+
+TEST_F(DalPolicyTest, AccumulatedLoadSteersAway) {
+  DalPolicy dal(simulator, domains, {100.0, 100.0, 100.0});
+  dal.on_assign(0, 0, 1000.0);  // domain 0 (share .5) pinned on server 0
+  EXPECT_EQ(dal.select(1, all), 1);
+  dal.on_assign(1, 1, 1000.0);  // domain 1 (share .25) on server 1
+  // Server 2 has zero accumulated load: next pick.
+  EXPECT_EQ(dal.select(2, all), 2);
+  dal.on_assign(2, 2, 1000.0);  // share .125 on server 2
+  // Loads now {.5, .25, .125}: server 2 still lightest.
+  EXPECT_EQ(dal.select(3, all), 2);
+}
+
+TEST_F(DalPolicyTest, CapacityNormalizationPrefersBigServers) {
+  DalPolicy dal(simulator, domains, {200.0, 50.0, 50.0});
+  dal.on_assign(0, 0, 1000.0);  // server 0 carries .5 -> normalized .0025
+  // Server 1 and 2 empty -> normalized 0 -> pick server 1 first.
+  EXPECT_EQ(dal.select(1, all), 1);
+  dal.on_assign(3, 1, 1000.0);  // server 1 carries .125 -> normalized .0025
+  // Server 2 still empty.
+  EXPECT_EQ(dal.select(2, all), 2);
+  dal.on_assign(2, 2, 1000.0);  // server 2 carries .125 -> normalized .0025
+  // All tie at .0025: first wins; its larger capacity absorbs more load.
+  EXPECT_EQ(dal.select(1, all), 0);
+}
+
+TEST_F(DalPolicyTest, LoadDecaysWhenTtlExpires) {
+  DalPolicy dal(simulator, domains, {100.0, 100.0, 100.0});
+  dal.on_assign(0, 0, 60.0);
+  EXPECT_DOUBLE_EQ(dal.accumulated(0), 0.5);
+  simulator.run_until(59.0);
+  EXPECT_DOUBLE_EQ(dal.accumulated(0), 0.5);
+  simulator.run_until(61.0);
+  EXPECT_DOUBLE_EQ(dal.accumulated(0), 0.0);
+}
+
+TEST_F(DalPolicyTest, HonorsEligibilityMask) {
+  DalPolicy dal(simulator, domains, {100.0, 100.0, 100.0});
+  std::vector<bool> only_last{false, false, true};
+  EXPECT_EQ(dal.select(0, only_last), 2);
+}
+
+TEST_F(DalPolicyTest, StationarySharesAreCapacityProportional) {
+  DalPolicy dal(simulator, domains, {100.0, 60.0, 40.0});
+  const std::vector<double> s = dal.stationary_shares();
+  EXPECT_NEAR(s[0], 0.5, 1e-12);
+  EXPECT_NEAR(s[1], 0.3, 1e-12);
+  EXPECT_NEAR(s[2], 0.2, 1e-12);
+}
+
+TEST_F(DalPolicyTest, RejectsBadCapacities) {
+  EXPECT_THROW(DalPolicy(simulator, domains, {}), std::invalid_argument);
+  EXPECT_THROW(DalPolicy(simulator, domains, {100.0, 0.0}), std::invalid_argument);
+}
+
+TEST_F(DalPolicyTest, WeightUpdatesAffectSubsequentAccumulation) {
+  DalPolicy dal(simulator, domains, {100.0, 100.0, 100.0});
+  domains.update_weights({1.0, 1.0, 1.0, 7.0});  // domain 3 becomes dominant
+  dal.on_assign(3, 0, 1000.0);
+  EXPECT_DOUBLE_EQ(dal.accumulated(0), 0.7);
+}
+
+}  // namespace
+}  // namespace adattl::core

@@ -1,0 +1,301 @@
+// RFC 1035 wire-format codec + scheduler frontend suite.
+#include "dnswire/frontend.h"
+#include "dnswire/message.h"
+
+#include <gtest/gtest.h>
+
+#include "core/policy_factory.h"
+#include "sim/random.h"
+
+namespace adattl::dnswire {
+namespace {
+
+// ------------------------------------------------------------- names
+
+TEST(DnsName, EncodeDecodeRoundTrip) {
+  std::vector<std::uint8_t> wire;
+  ASSERT_TRUE(encode_name("www.example.org", &wire));
+  // 3www7example3org0
+  ASSERT_EQ(wire.size(), 17u);
+  EXPECT_EQ(wire[0], 3u);
+  EXPECT_EQ(wire[4], 7u);
+  EXPECT_EQ(wire.back(), 0u);
+
+  std::size_t pos = 0;
+  std::string decoded;
+  ASSERT_TRUE(decode_name(wire.data(), wire.size(), &pos, &decoded));
+  EXPECT_EQ(decoded, "www.example.org");
+  EXPECT_EQ(pos, wire.size());
+}
+
+TEST(DnsName, DecodeLowercasesAndSingleLabelWorks) {
+  std::vector<std::uint8_t> wire;
+  ASSERT_TRUE(encode_name("WWW.ExAmPlE.ORG", &wire));
+  std::size_t pos = 0;
+  std::string decoded;
+  ASSERT_TRUE(decode_name(wire.data(), wire.size(), &pos, &decoded));
+  EXPECT_EQ(decoded, "www.example.org");
+
+  wire.clear();
+  ASSERT_TRUE(encode_name("localhost", &wire));
+  pos = 0;
+  ASSERT_TRUE(decode_name(wire.data(), wire.size(), &pos, &decoded));
+  EXPECT_EQ(decoded, "localhost");
+}
+
+TEST(DnsName, EncodeRejectsBadLabels) {
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(encode_name("", &out));
+  EXPECT_FALSE(encode_name("a..b", &out));
+  EXPECT_FALSE(encode_name(".leading", &out));
+  EXPECT_FALSE(encode_name(std::string(64, 'x') + ".com", &out));  // label > 63
+  std::string huge;
+  for (int i = 0; i < 60; ++i) huge += "abcd.";
+  huge += "com";  // > 255 bytes total
+  EXPECT_FALSE(encode_name(huge, &out));
+  EXPECT_TRUE(out.empty());  // failed encodes leave the buffer untouched
+}
+
+TEST(DnsName, DecodeHandlesCompressionPointer) {
+  // Message: name "site.org" at offset 0, then a pointer to it at offset 10.
+  std::vector<std::uint8_t> wire;
+  ASSERT_TRUE(encode_name("site.org", &wire));  // 10 bytes: 4site3org0
+  ASSERT_EQ(wire.size(), 10u);
+  wire.push_back(0xc0);
+  wire.push_back(0x00);
+  std::size_t pos = 10;
+  std::string decoded;
+  ASSERT_TRUE(decode_name(wire.data(), wire.size(), &pos, &decoded));
+  EXPECT_EQ(decoded, "site.org");
+  EXPECT_EQ(pos, 12u);  // past the 2-byte pointer, not the target
+}
+
+TEST(DnsName, DecodeRejectsPointerLoopsAndTruncation) {
+  // Self-pointing pointer at offset 0.
+  const std::vector<std::uint8_t> loop = {0xc0, 0x00};
+  std::size_t pos = 0;
+  std::string out;
+  EXPECT_FALSE(decode_name(loop.data(), loop.size(), &pos, &out));
+
+  // Truncated label.
+  const std::vector<std::uint8_t> truncated = {5, 'a', 'b'};
+  pos = 0;
+  EXPECT_FALSE(decode_name(truncated.data(), truncated.size(), &pos, &out));
+
+  // Pointer past the end.
+  const std::vector<std::uint8_t> wild = {0xc0, 0x50};
+  pos = 0;
+  EXPECT_FALSE(decode_name(wild.data(), wild.size(), &pos, &out));
+}
+
+// ------------------------------------------------------------- messages
+
+TEST(DnsMessage, QueryRoundTrip) {
+  const std::vector<std::uint8_t> wire = encode_query(0xBEEF, "www.site.org");
+  ASSERT_FALSE(wire.empty());
+  Header h;
+  Question q;
+  ASSERT_TRUE(decode_query(wire, &h, &q));
+  EXPECT_EQ(h.id, 0xBEEF);
+  EXPECT_FALSE(h.qr);
+  EXPECT_TRUE(h.rd);
+  EXPECT_EQ(h.qdcount, 1);
+  EXPECT_EQ(q.qname, "www.site.org");
+  EXPECT_EQ(q.qtype, kTypeA);
+  EXPECT_EQ(q.qclass, kClassIn);
+}
+
+TEST(DnsMessage, ResponseRoundTrip) {
+  Header qh;
+  qh.id = 42;
+  qh.rd = true;
+  Question q{"www.site.org", kTypeA, kClassIn};
+  const std::vector<std::uint8_t> wire = encode_a_response(qh, q, 0x0A000001, 43);
+  Header rh;
+  std::uint32_t ip = 0, ttl = 0;
+  ASSERT_TRUE(decode_a_response(wire, &rh, &ip, &ttl));
+  EXPECT_EQ(rh.id, 42);
+  EXPECT_TRUE(rh.qr);
+  EXPECT_TRUE(rh.aa);
+  EXPECT_TRUE(rh.rd);
+  EXPECT_EQ(rh.rcode, kRcodeNoError);
+  EXPECT_EQ(rh.ancount, 1);
+  EXPECT_EQ(ip, 0x0A000001u);  // 10.0.0.1
+  EXPECT_EQ(ttl, 43u);
+}
+
+TEST(DnsMessage, ErrorResponseHasNoAnswer) {
+  Header qh;
+  qh.id = 7;
+  Question q{"other.org", kTypeA, kClassIn};
+  const std::vector<std::uint8_t> wire = encode_a_response(qh, q, 0, 0, kRcodeNxDomain);
+  Header rh;
+  std::uint32_t ip = 0, ttl = 0;
+  ASSERT_TRUE(decode_a_response(wire, &rh, &ip, &ttl));
+  EXPECT_EQ(rh.rcode, kRcodeNxDomain);
+  EXPECT_EQ(rh.ancount, 0);
+}
+
+TEST(DnsMessage, DecodeQueryRejectsGarbage) {
+  Header h;
+  Question q;
+  EXPECT_FALSE(decode_query({}, &h, &q));
+  EXPECT_FALSE(decode_query({1, 2, 3}, &h, &q));
+  // Valid header claiming a question, but no question bytes.
+  std::vector<std::uint8_t> hdr_only = {0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0};
+  EXPECT_FALSE(decode_query(hdr_only, &h, &q));
+}
+
+// ------------------------------------------------------------- fuzz
+
+TEST(DnsWireFuzz, RandomBuffersNeverCrashDecoders) {
+  sim::RngStream rng(31337);
+  Header h;
+  Question q;
+  std::uint32_t ip = 0, ttl = 0;
+  for (int iter = 0; iter < 20000; ++iter) {
+    const int len = static_cast<int>(rng.uniform_int(0, 64));
+    std::vector<std::uint8_t> buf(static_cast<std::size_t>(len));
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    // Must never crash, loop forever, or read out of bounds (ASan-checked
+    // in sanitizer builds); the return value is free to be false.
+    (void)decode_query(buf, &h, &q);
+    (void)decode_a_response(buf, &h, &ip, &ttl);
+    std::size_t pos = 0;
+    std::string name;
+    (void)decode_name(buf.data(), buf.size(), &pos, &name);
+  }
+}
+
+TEST(DnsWireFuzz, MutatedValidPacketsNeverCrashDecoders) {
+  sim::RngStream rng(777);
+  const std::vector<std::uint8_t> valid = encode_query(0x5555, "www.site.org");
+  Header h;
+  Question q;
+  for (int iter = 0; iter < 20000; ++iter) {
+    std::vector<std::uint8_t> buf = valid;
+    // Flip 1-4 random bytes; truncate sometimes.
+    const int flips = static_cast<int>(rng.uniform_int(1, 4));
+    for (int f = 0; f < flips; ++f) {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(buf.size()) - 1));
+      buf[idx] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    if (rng.bernoulli(0.3)) {
+      buf.resize(static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(buf.size()))));
+    }
+    if (decode_query(buf, &h, &q)) {
+      // Anything that decodes must satisfy the container invariants.
+      EXPECT_LE(q.qname.size(), 255u);
+    }
+  }
+}
+
+// ------------------------------------------------------------- frontend
+
+struct FrontendRig {
+  FrontendRig() : rng(5), alarms(3, 0.9) {
+    core::SchedulerFactoryConfig fc;
+    fc.capacities = {100.0, 80.0, 60.0};
+    fc.initial_weights = sim::ZipfDistribution(10, 1.0).probabilities();
+    fc.class_threshold = 0.1;
+    bundle = core::make_scheduler("PRR2-TTL/K", fc, alarms, simulator, rng);
+    frontend = std::make_unique<DnsFrontend>(
+        *bundle.scheduler, "WWW.Site.Org",
+        std::vector<std::uint32_t>{0x0A000001, 0x0A000002, 0x0A000003});
+  }
+
+  sim::Simulator simulator;
+  sim::RngStream rng;
+  core::AlarmRegistry alarms;
+  core::SchedulerBundle bundle;
+  std::unique_ptr<DnsFrontend> frontend;
+};
+
+TEST(DnsFrontendTest, AnswersWithSchedulerDecision) {
+  FrontendRig rig;
+  const std::vector<std::uint8_t> query = encode_query(0x1234, "www.site.org");
+  const std::vector<std::uint8_t> response = rig.frontend->handle(query, /*domain=*/0);
+  Header h;
+  std::uint32_t ip = 0, ttl = 0;
+  ASSERT_TRUE(decode_a_response(response, &h, &ip, &ttl));
+  EXPECT_EQ(h.id, 0x1234);
+  EXPECT_EQ(h.rcode, kRcodeNoError);
+  // The address is one of the configured servers.
+  EXPECT_TRUE(ip == 0x0A000001 || ip == 0x0A000002 || ip == 0x0A000003);
+  // Domain 0 is the hottest: its TTL is the policy's minimum, rounded to
+  // integral seconds but never to zero.
+  EXPECT_GE(ttl, 1u);
+  EXPECT_LE(ttl, 240u);
+  EXPECT_EQ(rig.frontend->answered(), 1u);
+  EXPECT_EQ(rig.bundle.scheduler->decisions(), 1u);
+}
+
+TEST(DnsFrontendTest, HotDomainsGetShorterTtlsOnTheWire) {
+  FrontendRig rig;
+  const auto ttl_for = [&](int domain) {
+    const std::vector<std::uint8_t> r =
+        rig.frontend->handle(encode_query(1, "www.site.org"), domain);
+    Header h;
+    std::uint32_t ip = 0, ttl = 0;
+    EXPECT_TRUE(decode_a_response(r, &h, &ip, &ttl));
+    return ttl;
+  };
+  EXPECT_LT(ttl_for(0), ttl_for(9));  // rank 1 vs rank 10 under Zipf
+}
+
+TEST(DnsFrontendTest, CaseInsensitiveNameMatch) {
+  FrontendRig rig;
+  const std::vector<std::uint8_t> r =
+      rig.frontend->handle(encode_query(2, "WWW.SITE.ORG"), 0);
+  Header h;
+  std::uint32_t ip = 0, ttl = 0;
+  ASSERT_TRUE(decode_a_response(r, &h, &ip, &ttl));
+  EXPECT_EQ(h.rcode, kRcodeNoError);
+}
+
+TEST(DnsFrontendTest, ForeignNameGetsNxDomainWithoutSchedulingCost) {
+  FrontendRig rig;
+  const std::vector<std::uint8_t> r =
+      rig.frontend->handle(encode_query(3, "evil.example.com"), 0);
+  Header h;
+  std::uint32_t ip = 0, ttl = 0;
+  ASSERT_TRUE(decode_a_response(r, &h, &ip, &ttl));
+  EXPECT_EQ(h.rcode, kRcodeNxDomain);
+  EXPECT_EQ(rig.bundle.scheduler->decisions(), 0u);
+  EXPECT_EQ(rig.frontend->refused(), 1u);
+}
+
+TEST(DnsFrontendTest, NonAQueriesGetNotImp) {
+  FrontendRig rig;
+  const std::vector<std::uint8_t> r =
+      rig.frontend->handle(encode_query(4, "www.site.org", /*qtype=*/28), 0);  // AAAA
+  Header h;
+  std::uint32_t ip = 0, ttl = 0;
+  ASSERT_TRUE(decode_a_response(r, &h, &ip, &ttl));
+  EXPECT_EQ(h.rcode, kRcodeNotImp);
+}
+
+TEST(DnsFrontendTest, MalformedQueryGetsFormErrOrDrop) {
+  FrontendRig rig;
+  // One byte: not even an id — dropped.
+  EXPECT_TRUE(rig.frontend->handle({0xFF}, 0).empty());
+  // Header-only with a claimed question: FORMERR echoing the id.
+  const std::vector<std::uint8_t> bad = {0xAB, 0xCD, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0};
+  const std::vector<std::uint8_t> r = rig.frontend->handle(bad, 0);
+  Header h;
+  std::uint32_t ip = 0, ttl = 0;
+  ASSERT_TRUE(decode_a_response(r, &h, &ip, &ttl));
+  EXPECT_EQ(h.id, 0xABCD);
+  EXPECT_EQ(h.rcode, kRcodeFormErr);
+}
+
+TEST(DnsFrontendTest, Validation) {
+  FrontendRig rig;
+  EXPECT_THROW(DnsFrontend(*rig.bundle.scheduler, "", {1}), std::invalid_argument);
+  EXPECT_THROW(DnsFrontend(*rig.bundle.scheduler, "x.org", {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adattl::dnswire

@@ -1,0 +1,144 @@
+// Failure-injection suite: silent server stalls, queue-threshold alarms,
+// and their end-to-end interaction with the DNS feedback loop.
+#include <gtest/gtest.h>
+
+#include "experiment/cli.h"
+#include "experiment/site.h"
+#include "sim/random.h"
+
+namespace adattl {
+namespace {
+
+TEST(WebServerPause, PausedServerQueuesWithoutServing) {
+  sim::Simulator simulator;
+  sim::RngStream rng(1);
+  web::WebServer s(simulator, 0, 100.0, 1, rng.split());
+  s.set_paused(true);
+  int done = 0;
+  for (int i = 0; i < 5; ++i) s.submit_page(web::PageRequest{0, 10, [&] { ++done; }});
+  simulator.run_until(100.0);
+  EXPECT_EQ(done, 0);
+  EXPECT_EQ(s.queue_length(), 5u);
+  EXPECT_DOUBLE_EQ(s.cumulative_busy_time(simulator.now()), 0.0);
+}
+
+TEST(WebServerPause, ResumeDrainsBacklog) {
+  sim::Simulator simulator;
+  sim::RngStream rng(2);
+  web::WebServer s(simulator, 0, 100.0, 1, rng.split());
+  s.set_paused(true);
+  int done = 0;
+  for (int i = 0; i < 5; ++i) s.submit_page(web::PageRequest{0, 10, [&] { ++done; }});
+  simulator.run_until(50.0);
+  s.set_paused(false);
+  simulator.run();
+  EXPECT_EQ(done, 5);
+  EXPECT_EQ(s.queue_length(), 0u);
+}
+
+TEST(WebServerPause, InFlightPageFinishesDuringPause) {
+  sim::Simulator simulator;
+  sim::RngStream rng(3);
+  web::WebServer s(simulator, 0, 100.0, 1, rng.split());
+  int done = 0;
+  s.submit_page(web::PageRequest{0, 10, [&] { ++done; }});  // starts service
+  s.submit_page(web::PageRequest{0, 10, [&] { ++done; }});  // queued
+  s.set_paused(true);
+  simulator.run_until(100.0);
+  EXPECT_EQ(done, 1);  // the in-flight page completed, the queued one did not
+  EXPECT_EQ(s.queue_length(), 1u);
+}
+
+TEST(QueueAlarm, UtilizationOnlyFeedbackMissesStalledServer) {
+  core::AlarmRegistry reg(2, 0.9);  // paper-faithful: no queue threshold
+  reg.observe_full(8.0, {0.05, 0.5}, {500, 2});
+  EXPECT_FALSE(reg.is_alarmed(0));  // huge backlog, but utilization is low
+}
+
+TEST(QueueAlarm, QueueThresholdCatchesStalledServer) {
+  core::AlarmRegistry reg(2, 0.9, true, /*queue_threshold=*/50);
+  reg.observe_full(8.0, {0.05, 0.5}, {500, 2});
+  EXPECT_TRUE(reg.is_alarmed(0));
+  EXPECT_FALSE(reg.is_alarmed(1));
+  // Backlog drains below the threshold: normal signal.
+  reg.observe_full(16.0, {0.8, 0.5}, {10, 2});
+  EXPECT_FALSE(reg.is_alarmed(0));
+  EXPECT_EQ(reg.normal_signals(), 1u);
+}
+
+TEST(QueueAlarm, QueueVectorSizeValidated) {
+  core::AlarmRegistry reg(2, 0.9, true, 50);
+  EXPECT_THROW(reg.observe_full(8.0, {0.5, 0.5}, {1}), std::invalid_argument);
+  EXPECT_NO_THROW(reg.observe_full(8.0, {0.5, 0.5}, {}));  // queues optional
+}
+
+experiment::SimulationConfig outage_config() {
+  experiment::SimulationConfig cfg;
+  cfg.cluster = web::table2_cluster(20);
+  cfg.policy = "DRR2-TTL/S_K";
+  cfg.warmup_sec = 100.0;
+  cfg.duration_sec = 2000.0;
+  cfg.seed = 55;
+  // Server 2 silently stalls for 10 minutes mid-run.
+  cfg.outages.push_back({600.0, 600.0, 2});
+  return cfg;
+}
+
+TEST(OutageIntegration, OutageDegradesResponseTimes) {
+  experiment::SimulationConfig healthy = outage_config();
+  healthy.outages.clear();
+  const experiment::RunResult base = experiment::Site(healthy).run();
+  const experiment::RunResult hit = experiment::Site(outage_config()).run();
+  // The workload is closed-loop, so only the clients mapped to the stalled
+  // server get trapped — few pages, but each waits up to 10 minutes. That
+  // inflates the *mean* dramatically while p99 moves only modestly.
+  EXPECT_GT(hit.mean_page_response_sec, 2.0 * base.mean_page_response_sec);
+  EXPECT_GE(hit.response_p99_sec, base.response_p99_sec);
+}
+
+TEST(OutageIntegration, QueueAlarmLimitsTheDamage) {
+  const experiment::RunResult blind = experiment::Site(outage_config()).run();
+  experiment::SimulationConfig cfg = outage_config();
+  cfg.alarm_queue_threshold = 30;
+  const experiment::RunResult guarded = experiment::Site(cfg).run();
+  // With backlog-based exclusion, new mappings steer around the stalled
+  // server, so far fewer pages get trapped behind it.
+  EXPECT_LT(guarded.response_p99_sec, blind.response_p99_sec);
+  EXPECT_LT(guarded.mean_page_response_sec, blind.mean_page_response_sec);
+}
+
+TEST(OutageIntegration, ServerRecoversAfterOutage) {
+  experiment::Site site(outage_config());
+  const experiment::RunResult r = site.run();
+  // After recovery the server drained its queue and kept serving.
+  EXPECT_FALSE(site.cluster().server(2).paused());
+  EXPECT_GT(site.cluster().server(2).pages_served(), 0u);
+  EXPECT_GT(r.total_hits, 0u);
+}
+
+TEST(OutageConfig, Validation) {
+  experiment::SimulationConfig cfg;
+  cfg.outages.push_back({-1.0, 10.0, 0});
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.outages = {{10.0, 0.0, 0}};
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.outages = {{10.0, 5.0, 99}};
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.outages = {{10.0, 5.0, 3}};
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(OutageCli, ParsesOutageAndQueueAlarm) {
+  const experiment::CliOptions opt =
+      experiment::parse_cli({"--outage=600:300:2", "--queue-alarm=40"});
+  ASSERT_EQ(opt.config.outages.size(), 1u);
+  EXPECT_DOUBLE_EQ(opt.config.outages[0].start_sec, 600.0);
+  EXPECT_DOUBLE_EQ(opt.config.outages[0].duration_sec, 300.0);
+  EXPECT_EQ(opt.config.outages[0].server, 2);
+  EXPECT_EQ(opt.config.alarm_queue_threshold, 40u);
+  EXPECT_THROW(experiment::parse_cli({"--outage=600:300"}), std::invalid_argument);
+  EXPECT_THROW(experiment::parse_cli({"--outage=600:300:99"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adattl

@@ -1,0 +1,159 @@
+// Geography extension: the RTT model, the proximity-first policy, and the
+// end-to-end load-vs-latency trade-off.
+#include "geo/geo_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/policy_factory.h"
+#include "core/proximity_policy.h"
+#include "experiment/cli.h"
+#include "experiment/site.h"
+
+namespace adattl {
+namespace {
+
+TEST(GeoModel, RegionBuilderAssignsRoundRobin) {
+  const geo::GeoModel g = geo::GeoModel::regions(4, 4, 2, 0.02, 0.15);
+  // Domain 0 and server 0/2 share region 0; server 1/3 are remote.
+  EXPECT_DOUBLE_EQ(g.rtt(0, 0), 0.02);
+  EXPECT_DOUBLE_EQ(g.rtt(0, 2), 0.02);
+  EXPECT_DOUBLE_EQ(g.rtt(0, 1), 0.15);
+  EXPECT_DOUBLE_EQ(g.rtt(1, 1), 0.02);
+  EXPECT_DOUBLE_EQ(g.rtt(1, 0), 0.15);
+}
+
+TEST(GeoModel, NearestServersAreTheLocalOnes) {
+  const geo::GeoModel g = geo::GeoModel::regions(6, 6, 3, 0.01, 0.2);
+  EXPECT_EQ(g.nearest_servers(0), (std::vector<int>{0, 3}));
+  EXPECT_EQ(g.nearest_servers(4), (std::vector<int>{1, 4}));
+}
+
+TEST(GeoModel, SingleRegionIsFlat) {
+  const geo::GeoModel g = geo::GeoModel::regions(3, 5, 1, 0.02, 0.15);
+  for (int d = 0; d < 3; ++d) {
+    for (int s = 0; s < 5; ++s) EXPECT_DOUBLE_EQ(g.rtt(d, s), 0.02);
+    EXPECT_EQ(g.nearest_servers(d).size(), 5u);
+  }
+}
+
+TEST(GeoModel, ExplicitMatrixAndValidation) {
+  const geo::GeoModel g({{0.01, 0.3}, {0.3, 0.01}});
+  EXPECT_EQ(g.num_domains(), 2);
+  EXPECT_EQ(g.num_servers(), 2);
+  EXPECT_NEAR(g.mean_rtt(0), 0.155, 1e-12);
+  EXPECT_THROW(geo::GeoModel({}), std::invalid_argument);
+  EXPECT_THROW(geo::GeoModel({{0.1}, {0.1, 0.2}}), std::invalid_argument);
+  EXPECT_THROW(geo::GeoModel(std::vector<std::vector<double>>{{-0.1}}),
+               std::invalid_argument);
+  EXPECT_THROW(geo::GeoModel::regions(2, 2, 0, 0.01, 0.1), std::invalid_argument);
+  EXPECT_THROW(geo::GeoModel::regions(2, 2, 2, 0.2, 0.1), std::invalid_argument);
+}
+
+TEST(ProximityPolicy, PrefersLocalServers) {
+  auto g = std::make_shared<const geo::GeoModel>(geo::GeoModel::regions(4, 4, 2, 0.01, 0.2));
+  core::ProximityPolicy p(g, {100.0, 100.0, 100.0, 100.0});
+  const std::vector<bool> all(4, true);
+  // Domain 0's locals are servers 0 and 2; it must never leave them.
+  for (int i = 0; i < 50; ++i) {
+    const int s = p.select(0, all);
+    EXPECT_TRUE(s == 0 || s == 2) << s;
+  }
+  // Domain 1's locals are 1 and 3.
+  for (int i = 0; i < 50; ++i) {
+    const int s = p.select(1, all);
+    EXPECT_TRUE(s == 1 || s == 3) << s;
+  }
+}
+
+TEST(ProximityPolicy, LocalPicksAreCapacityWeighted) {
+  auto g = std::make_shared<const geo::GeoModel>(geo::GeoModel::regions(2, 4, 2, 0.01, 0.2));
+  // Domain 0's locals: servers 0 (big) and 2 (small).
+  core::ProximityPolicy p(g, {300.0, 100.0, 100.0, 100.0});
+  const std::vector<bool> all(4, true);
+  int big = 0, small = 0;
+  for (int i = 0; i < 400; ++i) {
+    const int s = p.select(0, all);
+    if (s == 0) ++big;
+    if (s == 2) ++small;
+  }
+  EXPECT_EQ(big + small, 400);
+  EXPECT_EQ(big, 300);  // smooth WRR: exact 3:1 over full cycles
+}
+
+TEST(ProximityPolicy, FallsBackWhenRegionIsAlarmed) {
+  auto g = std::make_shared<const geo::GeoModel>(geo::GeoModel::regions(2, 4, 2, 0.01, 0.2));
+  core::ProximityPolicy p(g, {100.0, 100.0, 100.0, 100.0});
+  std::vector<bool> eligible{false, true, false, true};  // domain 0's locals both out
+  for (int i = 0; i < 20; ++i) {
+    const int s = p.select(0, eligible);
+    EXPECT_TRUE(s == 1 || s == 3) << s;
+  }
+}
+
+TEST(ProximityPolicy, Validation) {
+  auto g = std::make_shared<const geo::GeoModel>(geo::GeoModel::regions(2, 3, 2, 0.01, 0.2));
+  EXPECT_THROW(core::ProximityPolicy(nullptr, {100.0}), std::invalid_argument);
+  EXPECT_THROW(core::ProximityPolicy(g, {100.0}), std::invalid_argument);  // count mismatch
+  EXPECT_THROW(core::ProximityPolicy(g, {100.0, 0.0, 100.0}), std::invalid_argument);
+}
+
+experiment::SimulationConfig geo_config(const std::string& policy) {
+  experiment::SimulationConfig cfg;
+  cfg.cluster = web::table2_cluster(35);
+  cfg.policy = policy;
+  cfg.geo_regions = 3;
+  cfg.warmup_sec = 200.0;
+  cfg.duration_sec = 2400.0;
+  cfg.seed = 71;
+  return cfg;
+}
+
+TEST(GeoIntegration, RttShowsUpInNetworkTimeNotServerTime) {
+  const experiment::RunResult with_geo = experiment::Site(geo_config("RR")).run();
+  experiment::SimulationConfig flat = geo_config("RR");
+  flat.geo_regions = 0;
+  const experiment::RunResult without = experiment::Site(flat).run();
+  // RR ignores geography: mean RTT ~ (1/3 intra + 2/3 inter).
+  EXPECT_NEAR(with_geo.mean_network_rtt_sec, (0.02 + 2 * 0.15) / 3.0, 0.01);
+  EXPECT_DOUBLE_EQ(without.mean_network_rtt_sec, 0.0);
+  // Server-side response times are on the same scale either way.
+  EXPECT_NEAR(with_geo.mean_page_response_sec, without.mean_page_response_sec, 0.25);
+}
+
+TEST(GeoIntegration, ProximityPolicySlashesRtt) {
+  const experiment::RunResult geo_run = experiment::Site(geo_config("GEO")).run();
+  const experiment::RunResult rr_run = experiment::Site(geo_config("RR")).run();
+  // GEO keeps traffic local: mean RTT ~ intra (0.02 s) vs RR's ~0.107 s.
+  EXPECT_LT(geo_run.mean_network_rtt_sec, 0.03);
+  EXPECT_GT(rr_run.mean_network_rtt_sec, 0.09);
+}
+
+TEST(GeoIntegration, ProximityPaysWithLoadImbalance) {
+  // Each region hosts a disjoint slice of the Zipf domains, so regional
+  // offered load is uneven while GEO pins it locally: adaptive TTL's
+  // global spreading must beat GEO on max utilization.
+  const experiment::RunResult geo_run = experiment::Site(geo_config("GEO")).run();
+  const experiment::RunResult adaptive =
+      experiment::Site(geo_config("DRR2-TTL/S_K")).run();
+  EXPECT_GT(adaptive.prob_below_098, geo_run.prob_below_098);
+}
+
+TEST(GeoIntegration, GeoPolicyRequiresRegions) {
+  experiment::SimulationConfig cfg = geo_config("GEO");
+  cfg.geo_regions = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(GeoCli, ParsesGeographyFlags) {
+  const experiment::CliOptions opt = experiment::parse_cli(
+      {"--geo-regions=3", "--geo-intra=0.01", "--geo-inter=0.2", "--policy=GEO"});
+  EXPECT_EQ(opt.config.geo_regions, 3);
+  EXPECT_DOUBLE_EQ(opt.config.geo_intra_rtt_sec, 0.01);
+  EXPECT_DOUBLE_EQ(opt.config.geo_inter_rtt_sec, 0.2);
+  EXPECT_THROW(experiment::parse_cli({"--policy=GEO"}), std::invalid_argument);
+  EXPECT_THROW(experiment::parse_cli({"--geo-regions=2", "--geo-intra=0.3", "--geo-inter=0.1"}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adattl

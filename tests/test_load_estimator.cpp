@@ -1,0 +1,125 @@
+#include "core/load_estimator.h"
+
+#include <gtest/gtest.h>
+
+namespace adattl::core {
+namespace {
+
+TEST(LoadEstimator, RejectsBadSmoothing) {
+  DomainModel m({1.0, 1.0}, 0.4);
+  EXPECT_THROW(EwmaLoadEstimator(m, 0.0), std::invalid_argument);
+  EXPECT_THROW(EwmaLoadEstimator(m, 1.5), std::invalid_argument);
+}
+
+TEST(LoadEstimator, FirstWindowSeedsEstimateOutright) {
+  DomainModel m({1.0, 1.0, 1.0}, 0.2);
+  EwmaLoadEstimator est(m, 0.3);
+  est.observe({800, 160, 40}, 8.0);
+  EXPECT_DOUBLE_EQ(m.weight(0), 100.0);
+  EXPECT_DOUBLE_EQ(m.weight(1), 20.0);
+  EXPECT_DOUBLE_EQ(m.weight(2), 5.0);
+}
+
+TEST(LoadEstimator, EwmaBlendsSubsequentWindows) {
+  DomainModel m({1.0, 1.0}, 0.4);
+  EwmaLoadEstimator est(m, 0.5);
+  est.observe({80, 40}, 8.0);   // rates 10, 5
+  est.observe({160, 40}, 8.0);  // rates 20, 5
+  EXPECT_DOUBLE_EQ(m.weight(0), 15.0);  // 0.5*20 + 0.5*10
+  EXPECT_DOUBLE_EQ(m.weight(1), 5.0);
+}
+
+TEST(LoadEstimator, ConvergesToStationaryRates) {
+  DomainModel m({1.0, 1.0, 1.0, 1.0}, 0.2);
+  EwmaLoadEstimator est(m, 0.3);
+  for (int w = 0; w < 50; ++w) est.observe({400, 200, 100, 100}, 8.0);
+  EXPECT_NEAR(m.share(0), 0.5, 1e-6);
+  EXPECT_NEAR(m.share(1), 0.25, 1e-6);
+  EXPECT_NEAR(m.share(3), 0.125, 1e-6);
+}
+
+TEST(LoadEstimator, OracleModeNeverTouchesModel) {
+  DomainModel m({7.0, 1.0}, 0.4);
+  EwmaLoadEstimator est(m, 0.3, /*oracle=*/true);
+  est.observe({10, 1000}, 8.0);
+  EXPECT_DOUBLE_EQ(m.weight(0), 7.0);
+  EXPECT_DOUBLE_EQ(m.weight(1), 1.0);
+  EXPECT_EQ(est.windows_observed(), 0);
+}
+
+TEST(LoadEstimator, AllZeroWindowKeepsPreviousWeights) {
+  DomainModel m({1.0, 1.0}, 0.4);
+  EwmaLoadEstimator est(m, 1.0);  // no memory: a zero window would zero the model
+  est.observe({80, 40}, 8.0);
+  est.observe({0, 0}, 8.0);
+  EXPECT_DOUBLE_EQ(m.weight(0), 10.0);  // survived the empty window
+  EXPECT_DOUBLE_EQ(m.weight(1), 5.0);
+}
+
+TEST(LoadEstimator, TracksShiftingHotSpot) {
+  DomainModel m({1.0, 1.0}, 0.4);
+  EwmaLoadEstimator est(m, 0.5);
+  for (int w = 0; w < 20; ++w) est.observe({100, 10}, 8.0);
+  EXPECT_TRUE(m.is_hot(0));
+  EXPECT_FALSE(m.is_hot(1));
+  for (int w = 0; w < 20; ++w) est.observe({10, 100}, 8.0);
+  EXPECT_FALSE(m.is_hot(0));
+  EXPECT_TRUE(m.is_hot(1));
+}
+
+TEST(LoadEstimator, RejectsMismatchedInput) {
+  DomainModel m({1.0, 1.0}, 0.4);
+  EwmaLoadEstimator est(m, 0.3);
+  EXPECT_THROW(est.observe({1, 2, 3}, 8.0), std::invalid_argument);
+  EXPECT_THROW(est.observe({1, 2}, 0.0), std::invalid_argument);
+}
+
+TEST(SlidingWindowEstimator, RejectsBadWindowCount) {
+  DomainModel m({1.0, 1.0}, 0.4);
+  EXPECT_THROW(SlidingWindowLoadEstimator(m, 0), std::invalid_argument);
+}
+
+TEST(SlidingWindowEstimator, AveragesOverWindow) {
+  DomainModel m({1.0, 1.0}, 0.4);
+  SlidingWindowLoadEstimator est(m, 3);
+  est.observe({80, 8}, 8.0);   // rates 10, 1
+  est.observe({160, 8}, 8.0);  // rates 20, 1
+  EXPECT_DOUBLE_EQ(m.weight(0), 15.0);  // mean of 10, 20
+  est.observe({240, 8}, 8.0);  // rates 30, 1
+  EXPECT_DOUBLE_EQ(m.weight(0), 20.0);  // mean of 10, 20, 30
+}
+
+TEST(SlidingWindowEstimator, OldWindowsFallOut) {
+  DomainModel m({1.0, 1.0}, 0.4);
+  SlidingWindowLoadEstimator est(m, 2);
+  est.observe({80, 8}, 8.0);   // 10
+  est.observe({160, 8}, 8.0);  // 20
+  est.observe({240, 8}, 8.0);  // 30 -> window now {20, 30}
+  EXPECT_DOUBLE_EQ(m.weight(0), 25.0);
+}
+
+TEST(SlidingWindowEstimator, OracleModeInert) {
+  DomainModel m({9.0, 1.0}, 0.4);
+  SlidingWindowLoadEstimator est(m, 4, /*oracle=*/true);
+  est.observe({1, 99}, 8.0);
+  EXPECT_DOUBLE_EQ(m.weight(0), 9.0);
+}
+
+TEST(SlidingWindowEstimator, TracksShiftSlowerThanEwma) {
+  DomainModel m1({1.0, 1.0}, 0.4);
+  DomainModel m2({1.0, 1.0}, 0.4);
+  EwmaLoadEstimator ewma(m1, 0.5);
+  SlidingWindowLoadEstimator window(m2, 8);
+  for (int w = 0; w < 10; ++w) {
+    ewma.observe({100, 10}, 8.0);
+    window.observe({100, 10}, 8.0);
+  }
+  // Abrupt shift: the EWMA (alpha .5) adapts faster than an 8-window mean.
+  ewma.observe({10, 100}, 8.0);
+  window.observe({10, 100}, 8.0);
+  EXPECT_LT(m1.weight(0), m2.weight(0));
+  EXPECT_GT(m1.weight(1), m2.weight(1));
+}
+
+}  // namespace
+}  // namespace adattl::core

@@ -1,0 +1,52 @@
+#include "experiment/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace adattl::experiment {
+namespace {
+
+TEST(MaxUtilizationTracker, IgnoresWarmupSamples) {
+  MaxUtilizationTracker t(3, /*warmup_end=*/100.0);
+  t.observe(50.0, {0.9, 0.9, 0.9});
+  t.observe(100.0, {0.9, 0.9, 0.9});  // boundary sample still warm-up
+  EXPECT_EQ(t.samples(), 0u);
+  t.observe(108.0, {0.5, 0.2, 0.1});
+  EXPECT_EQ(t.samples(), 1u);
+}
+
+TEST(MaxUtilizationTracker, TracksMaximumAcrossServers) {
+  MaxUtilizationTracker t(3, 0.0);
+  t.observe(8.0, {0.2, 0.7, 0.4});
+  t.observe(16.0, {0.9, 0.1, 0.3});
+  EXPECT_DOUBLE_EQ(t.mean_max_utilization(), 0.8);
+  EXPECT_DOUBLE_EQ(t.prob_below(0.75), 0.5);  // only the first tick stayed below
+  EXPECT_DOUBLE_EQ(t.prob_below(0.95), 1.0);
+}
+
+TEST(MaxUtilizationTracker, PerServerMeans) {
+  MaxUtilizationTracker t(2, 0.0);
+  t.observe(8.0, {0.2, 0.6});
+  t.observe(16.0, {0.4, 0.8});
+  const std::vector<double> means = t.mean_utilizations();
+  EXPECT_DOUBLE_EQ(means[0], 0.3);
+  EXPECT_DOUBLE_EQ(means[1], 0.7);
+}
+
+TEST(MaxUtilizationTracker, SaturationLandsInOverflow) {
+  MaxUtilizationTracker t(1, 0.0);
+  t.observe(8.0, {1.0});
+  EXPECT_DOUBLE_EQ(t.prob_below(1.0), 0.0);
+  EXPECT_EQ(t.samples(), 1u);
+}
+
+TEST(MaxUtilizationTracker, SizeMismatchThrows) {
+  MaxUtilizationTracker t(2, 0.0);
+  EXPECT_THROW(t.observe(8.0, {0.5}), std::invalid_argument);
+}
+
+TEST(MaxUtilizationTracker, RejectsZeroServers) {
+  EXPECT_THROW(MaxUtilizationTracker(0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adattl::experiment

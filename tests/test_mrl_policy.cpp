@@ -1,0 +1,101 @@
+#include "core/mrl_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/policy_factory.h"
+
+namespace adattl::core {
+namespace {
+
+class MrlPolicyTest : public ::testing::Test {
+ protected:
+  MrlPolicyTest() : domains({4.0, 2.0, 1.0, 1.0}, 0.3) {}  // shares .5 .25 .125 .125
+
+  sim::Simulator simulator;
+  DomainModel domains;
+  std::vector<bool> all{true, true, true};
+};
+
+TEST_F(MrlPolicyTest, ResidualStartsAtRateTimesTtl) {
+  MrlPolicy mrl(simulator, domains, {100.0, 100.0, 100.0});
+  mrl.on_assign(0, 0, 100.0);  // share .5 for 100 s
+  EXPECT_NEAR(mrl.residual(0), 0.5 * 100.0, 1e-9);
+  EXPECT_DOUBLE_EQ(mrl.residual(1), 0.0);
+}
+
+TEST_F(MrlPolicyTest, ResidualDecaysLinearly) {
+  MrlPolicy mrl(simulator, domains, {100.0, 100.0, 100.0});
+  mrl.on_assign(0, 0, 100.0);
+  simulator.run_until(25.0);
+  EXPECT_NEAR(mrl.residual(0), 0.5 * 75.0, 1e-9);
+  simulator.run_until(75.0);
+  EXPECT_NEAR(mrl.residual(0), 0.5 * 25.0, 1e-9);
+}
+
+TEST_F(MrlPolicyTest, ResidualVanishesAtExpiry) {
+  MrlPolicy mrl(simulator, domains, {100.0, 100.0, 100.0});
+  mrl.on_assign(1, 2, 60.0);
+  simulator.run_until(61.0);
+  EXPECT_NEAR(mrl.residual(2), 0.0, 1e-9);
+}
+
+TEST_F(MrlPolicyTest, OverlappingMappingsAccumulate) {
+  MrlPolicy mrl(simulator, domains, {100.0, 100.0, 100.0});
+  mrl.on_assign(0, 0, 100.0);  // .5 * 100
+  simulator.run_until(50.0);
+  mrl.on_assign(1, 0, 100.0);  // .25 * 100 starting at t=50
+  // At t=50: first mapping has .5*50 left, second .25*100.
+  EXPECT_NEAR(mrl.residual(0), 0.5 * 50.0 + 0.25 * 100.0, 1e-9);
+  simulator.run_until(100.0);  // first expired, second half-way
+  EXPECT_NEAR(mrl.residual(0), 0.25 * 50.0, 1e-9);
+}
+
+TEST_F(MrlPolicyTest, SelectsMinimumNormalizedResidual) {
+  MrlPolicy mrl(simulator, domains, {200.0, 100.0, 100.0});
+  mrl.on_assign(0, 1, 100.0);  // server 1 loaded
+  EXPECT_EQ(mrl.select(2, all), 0);
+  mrl.on_assign(0, 0, 100.0);  // server 0: residual 50, normalized .25
+  // server 1 normalized .5, server 2 empty.
+  EXPECT_EQ(mrl.select(2, all), 2);
+}
+
+TEST_F(MrlPolicyTest, CapacityNormalizationMatters) {
+  MrlPolicy mrl(simulator, domains, {200.0, 50.0, 50.0});
+  mrl.on_assign(0, 0, 100.0);  // big server: residual 50 -> normalized .25
+  mrl.on_assign(2, 1, 100.0);  // small server: residual 12.5 -> normalized .25
+  // Tie at .25; server 2 is empty and wins.
+  EXPECT_EQ(mrl.select(3, all), 2);
+  mrl.on_assign(3, 2, 100.0);
+  // Now all ~.25: lowest index (biggest server) wins the tie.
+  EXPECT_EQ(mrl.select(1, all), 0);
+}
+
+TEST_F(MrlPolicyTest, HonorsEligibility) {
+  MrlPolicy mrl(simulator, domains, {100.0, 100.0, 100.0});
+  std::vector<bool> only_mid{false, true, false};
+  EXPECT_EQ(mrl.select(0, only_mid), 1);
+}
+
+TEST_F(MrlPolicyTest, RejectsBadCapacities) {
+  EXPECT_THROW(MrlPolicy(simulator, domains, {}), std::invalid_argument);
+  EXPECT_THROW(MrlPolicy(simulator, domains, {1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(MrlFactory, MrlIsBuildableByName) {
+  sim::Simulator simulator;
+  sim::RngStream rng(1);
+  AlarmRegistry alarms(3, 0.9);
+  SchedulerFactoryConfig fc;
+  fc.capacities = {100.0, 80.0, 60.0};
+  fc.initial_weights = {3.0, 2.0, 1.0};
+  fc.class_threshold = 0.2;
+  SchedulerBundle b = make_scheduler("MRL", fc, alarms, simulator, rng);
+  EXPECT_EQ(b.scheduler->name(), "MRL");
+  const Decision d = b.scheduler->schedule(0);
+  EXPECT_GE(d.server, 0);
+  EXPECT_DOUBLE_EQ(d.ttl_sec, 240.0);
+  EXPECT_EQ(parse_policy_name("MRL").selection, SelectionKind::kMRL);
+}
+
+}  // namespace
+}  // namespace adattl::core

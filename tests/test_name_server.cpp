@@ -1,0 +1,109 @@
+#include "dnscache/name_server.h"
+
+#include <gtest/gtest.h>
+
+#include "core/policy_factory.h"
+#include "sim/random.h"
+
+namespace adattl::dnscache {
+namespace {
+
+class NameServerTest : public ::testing::Test {
+ protected:
+  NameServerTest() : rng(3), alarms(4, 0.9) {
+    core::SchedulerFactoryConfig fc;
+    fc.capacities = {100.0, 100.0, 100.0, 100.0};
+    fc.initial_weights = {5.0, 3.0, 1.0};
+    fc.class_threshold = 0.2;
+    bundle = core::make_scheduler("RR", fc, alarms, simulator, rng);
+  }
+
+  sim::Simulator simulator;
+  sim::RngStream rng;
+  core::AlarmRegistry alarms;
+  core::SchedulerBundle bundle;
+};
+
+TEST_F(NameServerTest, FirstResolveGoesToAuthoritativeDns) {
+  NameServer ns(simulator, 0, *bundle.scheduler);
+  EXPECT_FALSE(ns.has_fresh_mapping());
+  const web::ServerId s = ns.resolve();
+  EXPECT_EQ(s, 0);  // RR starts at server 0
+  EXPECT_EQ(ns.authoritative_queries(), 1u);
+  EXPECT_EQ(ns.cache_hits(), 0u);
+  EXPECT_TRUE(ns.has_fresh_mapping());
+}
+
+TEST_F(NameServerTest, WithinTtlServedFromCache) {
+  NameServer ns(simulator, 0, *bundle.scheduler);
+  const web::ServerId first = ns.resolve();
+  simulator.run_until(239.0);  // TTL is 240 s
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(ns.resolve(), first);
+  EXPECT_EQ(ns.authoritative_queries(), 1u);
+  EXPECT_EQ(ns.cache_hits(), 10u);
+}
+
+TEST_F(NameServerTest, ExpiryTriggersNewMapping) {
+  NameServer ns(simulator, 0, *bundle.scheduler);
+  const web::ServerId first = ns.resolve();
+  simulator.run_until(240.0);  // mapping expires exactly at now == expiry
+  EXPECT_FALSE(ns.has_fresh_mapping());
+  const web::ServerId second = ns.resolve();
+  EXPECT_EQ(ns.authoritative_queries(), 2u);
+  EXPECT_EQ(second, first + 1);  // RR moved on
+}
+
+TEST_F(NameServerTest, EachDomainHasItsOwnCache) {
+  NameServer ns_a(simulator, 0, *bundle.scheduler);
+  NameServer ns_b(simulator, 1, *bundle.scheduler);
+  EXPECT_EQ(ns_a.resolve(), 0);
+  EXPECT_EQ(ns_b.resolve(), 1);  // shared RR pointer advanced by domain b's query
+  EXPECT_EQ(ns_a.resolve(), 0);  // a's cache unaffected
+}
+
+TEST_F(NameServerTest, NonCooperativeMinTtlExtendsShortMappings) {
+  NsTtlBehavior behavior;
+  behavior.min_accepted_sec = 300.0;  // above the 240 s the DNS proposes
+  NameServer ns(simulator, 0, *bundle.scheduler, behavior);
+  ns.resolve();
+  simulator.run_until(280.0);
+  EXPECT_TRUE(ns.has_fresh_mapping());  // would have expired at 240 if cooperative
+  simulator.run_until(301.0);
+  EXPECT_FALSE(ns.has_fresh_mapping());
+}
+
+TEST_F(NameServerTest, CooperativeNsHonorsProposedTtl) {
+  NsTtlBehavior behavior;
+  behavior.min_accepted_sec = 60.0;  // below 240: threshold never kicks in
+  NameServer ns(simulator, 0, *bundle.scheduler, behavior);
+  ns.resolve();
+  simulator.run_until(239.0);
+  EXPECT_TRUE(ns.has_fresh_mapping());
+  simulator.run_until(241.0);
+  EXPECT_FALSE(ns.has_fresh_mapping());
+}
+
+TEST_F(NameServerTest, OverrideValueUsedWhenConfigured) {
+  NsTtlBehavior behavior;
+  behavior.min_accepted_sec = 300.0;
+  behavior.override_sec = 600.0;  // NS substitutes its own default
+  NameServer ns(simulator, 0, *bundle.scheduler, behavior);
+  ns.resolve();
+  simulator.run_until(599.0);
+  EXPECT_TRUE(ns.has_fresh_mapping());
+  simulator.run_until(601.0);
+  EXPECT_FALSE(ns.has_fresh_mapping());
+}
+
+TEST(NsTtlBehavior, EffectiveTtlRules) {
+  NsTtlBehavior b;
+  EXPECT_DOUBLE_EQ(b.effective_ttl(43.0), 43.0);  // fully cooperative default
+  b.min_accepted_sec = 120.0;
+  EXPECT_DOUBLE_EQ(b.effective_ttl(240.0), 240.0);
+  EXPECT_DOUBLE_EQ(b.effective_ttl(60.0), 120.0);
+  b.override_sec = 200.0;
+  EXPECT_DOUBLE_EQ(b.effective_ttl(60.0), 200.0);
+}
+
+}  // namespace
+}  // namespace adattl::dnscache

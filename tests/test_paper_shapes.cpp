@@ -1,0 +1,132 @@
+// Paper-shape regression suite: the qualitative claims of every figure,
+// checked at reduced scale (single replication, shorter measured period)
+// so the whole suite stays fast. These are the assertions EXPERIMENTS.md
+// reports at full scale — if a refactor breaks a paper shape, this suite
+// goes red.
+#include <gtest/gtest.h>
+
+#include "experiment/runner.h"
+
+namespace adattl::experiment {
+namespace {
+
+/// One reduced-scale run; the shared seed keeps policy comparisons paired.
+double p98(const std::string& policy, int het, double min_ttl = 0.0,
+           double error_percent = 0.0, bool uniform = false) {
+  SimulationConfig cfg;
+  cfg.cluster = web::table2_cluster(het);
+  cfg.policy = policy;
+  cfg.uniform_clients = uniform;
+  cfg.ns_min_ttl_sec = min_ttl;
+  cfg.rate_perturbation_percent = error_percent;
+  cfg.warmup_sec = 300.0;
+  cfg.duration_sec = 4800.0;
+  cfg.seed = 424242;
+  return Site(cfg).run().prob_below_098;
+}
+
+// ---- Figure 1: deterministic family, het 20% ----
+
+TEST(PaperShapes, Fig1_DeterministicOrdering) {
+  const double ideal = p98("PRR-TTL/1", 20, 0, 0, /*uniform=*/true);
+  const double sk = p98("DRR2-TTL/S_K", 20);
+  const double s2 = p98("DRR2-TTL/S_2", 20);
+  const double s1 = p98("DRR2-TTL/S_1", 20);
+  const double rr = p98("RR", 20);
+  // TTL/S_K ~ Ideal >> TTL/S_2 >> TTL/S_1 ~ RR.
+  EXPECT_GT(sk, ideal - 0.1);
+  EXPECT_GT(sk, s2 + 0.03);
+  EXPECT_GT(s2, s1 + 0.1);
+  EXPECT_GT(sk, rr + 0.4);
+  // Server-capacity-only TTL shaping barely improves on RR.
+  EXPECT_LT(s1 - rr, 0.35);
+}
+
+TEST(PaperShapes, Fig1_RR2VariantsBeatRRVariants) {
+  EXPECT_GE(p98("DRR2-TTL/S_K", 20), p98("DRR-TTL/S_K", 20) - 0.02);
+  EXPECT_GE(p98("DRR2-TTL/S_2", 20), p98("DRR-TTL/S_2", 20) - 0.02);
+}
+
+// ---- Figure 2: probabilistic family, het 35% ----
+
+TEST(PaperShapes, Fig2_ProbabilisticOrdering) {
+  const double k = p98("PRR2-TTL/K", 35);
+  const double two = p98("PRR2-TTL/2", 35);
+  const double one = p98("PRR2-TTL/1", 35);
+  const double rr = p98("RR", 35);
+  EXPECT_GT(k, two + 0.03);
+  EXPECT_GT(two, one + 0.15);
+  // Probabilistic routing alone cannot absorb client skew.
+  EXPECT_LT(one - rr, 0.2);
+}
+
+// ---- Figure 3: heterogeneity sensitivity ----
+
+TEST(PaperShapes, Fig3_KGranularityStableAcrossHeterogeneity) {
+  const double at20 = p98("DRR2-TTL/S_K", 20);
+  const double at65 = p98("DRR2-TTL/S_K", 65);
+  EXPECT_GT(at65, 0.75);           // still effective at the extreme
+  EXPECT_LT(at20 - at65, 0.15);    // "relatively stable"
+}
+
+TEST(PaperShapes, Fig3_HomogeneousEraBaselinesDoNotTransfer) {
+  for (int het : {35, 50}) {
+    EXPECT_GT(p98("DRR2-TTL/S_K", het), p98("DAL", het) + 0.2) << het;
+    EXPECT_GT(p98("PRR2-TTL/K", het), p98("MRL", het) + 0.1) << het;
+  }
+}
+
+// ---- Figures 4-5: non-cooperative NS min TTL ----
+
+TEST(PaperShapes, Fig4_DeterministicBestWhenCooperative) {
+  EXPECT_GT(p98("DRR2-TTL/S_K", 20, 0.0), p98("PRR2-TTL/K", 20, 0.0) - 0.02);
+}
+
+TEST(PaperShapes, Fig5_ProbabilisticOvertakesUnderClampingAtHighHet) {
+  // Paper: at het 50% the crossover falls below ~100 s.
+  EXPECT_GT(p98("DRR2-TTL/S_K", 50, 0.0), p98("PRR2-TTL/K", 50, 0.0) - 0.03);
+  EXPECT_GT(p98("PRR2-TTL/K", 50, 120.0), p98("DRR2-TTL/S_K", 50, 120.0) - 0.02);
+}
+
+TEST(PaperShapes, Fig45_ClampingHurtsEveryAdaptivePolicy) {
+  for (const char* policy : {"DRR2-TTL/S_K", "PRR2-TTL/K"}) {
+    EXPECT_GT(p98(policy, 35, 0.0), p98(policy, 35, 240.0) + 0.2) << policy;
+  }
+}
+
+// ---- Figures 6-7: estimation error ----
+
+TEST(PaperShapes, Fig6_KSchemesRobustToEstimationError) {
+  const double clean = p98("PRR2-TTL/K", 20, 0, 0.0);
+  const double noisy = p98("PRR2-TTL/K", 20, 0, 30.0);
+  EXPECT_LT(clean - noisy, 0.20);
+  EXPECT_GT(noisy, 0.6);
+}
+
+TEST(PaperShapes, Fig7_TwoClassSchemesCollapseUnderErrorAtHighHet) {
+  const double k_noisy = p98("DRR2-TTL/S_K", 50, 0, 50.0);
+  const double two_noisy = p98("DRR2-TTL/S_2", 50, 0, 50.0);
+  EXPECT_GT(k_noisy, two_noisy + 0.2);
+}
+
+// ---- §5 summary claims ----
+
+TEST(PaperShapes, TwoTierAlwaysAtLeastAsGood) {
+  for (int het : {20, 50}) {
+    EXPECT_GE(p98("PRR2-TTL/K", het), p98("PRR-TTL/K", het) - 0.05) << het;
+    EXPECT_GE(p98("DRR2-TTL/S_2", het), p98("DRR-TTL/S_2", het) - 0.05) << het;
+  }
+}
+
+TEST(PaperShapes, AdaptiveTtlIsTheContribution) {
+  // The headline: with both skew and heterogeneity, adapting the TTL beats
+  // every fixed-TTL scheme, whatever its selection intelligence.
+  const int het = 50;
+  const double best_adaptive = p98("DRR2-TTL/S_K", het);
+  for (const char* fixed : {"RR", "RR2", "WRR", "DAL", "MRL", "PRR-TTL/1"}) {
+    EXPECT_GT(best_adaptive, p98(fixed, het) + 0.25) << fixed;
+  }
+}
+
+}  // namespace
+}  // namespace adattl::experiment

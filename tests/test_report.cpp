@@ -1,0 +1,46 @@
+#include "experiment/report.h"
+
+#include <gtest/gtest.h>
+
+namespace adattl::experiment {
+namespace {
+
+TEST(TableReport, FmtRoundsToPrecision) {
+  EXPECT_EQ(TableReport::fmt(0.98765, 3), "0.988");
+  EXPECT_EQ(TableReport::fmt(1.0, 0), "1");
+  EXPECT_EQ(TableReport::fmt(12.5, 1), "12.5");
+}
+
+TEST(TableReport, RejectsEmptyHeader) {
+  EXPECT_THROW(TableReport({}), std::invalid_argument);
+}
+
+TEST(TableReport, RejectsMismatchedRow) {
+  TableReport t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+  EXPECT_NO_THROW(t.add_row({"x", "y"}));
+}
+
+TEST(TableReport, PrintProducesAlignedOutput) {
+  TableReport t({"policy", "value"});
+  t.add_row({"RR", "0.1"});
+  t.add_row({"DRR2-TTL/S_K", "0.9"});
+  testing::internal::CaptureStdout();
+  t.print("demo");
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("DRR2-TTL/S_K"), std::string::npos);
+  EXPECT_NE(out.find("policy"), std::string::npos);
+}
+
+TEST(TableReport, CsvOutput) {
+  TableReport t({"a", "b"});
+  t.add_row({"1", "2"});
+  testing::internal::CaptureStdout();
+  t.print_csv();
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_EQ(out, "a,b\n1,2\n");
+}
+
+}  // namespace
+}  // namespace adattl::experiment

@@ -1,0 +1,98 @@
+#include "core/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "core/policy_factory.h"
+#include "experiment/site.h"
+#include "sim/random.h"
+
+namespace adattl::core {
+namespace {
+
+class SchedulerEdgeTest : public ::testing::Test {
+ protected:
+  SchedulerEdgeTest() : rng(2), alarms(3, 0.9) {
+    config.capacities = {100.0, 80.0, 60.0};
+    config.initial_weights = sim::ZipfDistribution(10, 1.0).probabilities();
+    config.class_threshold = 0.1;
+  }
+
+  sim::Simulator simulator;
+  sim::RngStream rng;
+  AlarmRegistry alarms;
+  SchedulerFactoryConfig config;
+};
+
+TEST_F(SchedulerEdgeTest, AllServersAlarmedStillAnswers) {
+  SchedulerBundle b = make_scheduler("DRR2-TTL/S_K", config, alarms, simulator, rng);
+  alarms.observe(8.0, {0.99, 0.99, 0.99});
+  // The DNS must keep answering even when every server is overloaded.
+  for (int i = 0; i < 30; ++i) {
+    const Decision d = b.scheduler->schedule(i % 10);
+    EXPECT_GE(d.server, 0);
+    EXPECT_LT(d.server, 3);
+    EXPECT_GT(d.ttl_sec, 0.0);
+  }
+}
+
+TEST_F(SchedulerEdgeTest, RecoveryRedirectsTraffic) {
+  SchedulerBundle b = make_scheduler("RR", config, alarms, simulator, rng);
+  alarms.observe(8.0, {0.99, 0.5, 0.5});
+  for (int i = 0; i < 10; ++i) EXPECT_NE(b.scheduler->schedule(0).server, 0);
+  alarms.observe(16.0, {0.5, 0.5, 0.5});
+  bool server0_used = false;
+  for (int i = 0; i < 6; ++i) server0_used |= (b.scheduler->schedule(0).server == 0);
+  EXPECT_TRUE(server0_used);
+}
+
+TEST_F(SchedulerEdgeTest, SingleServerSiteAlwaysPicksIt) {
+  AlarmRegistry one(1, 0.9);
+  SchedulerFactoryConfig c = config;
+  c.capacities = {100.0};
+  for (const char* p : {"RR", "RR2", "DAL", "MRL", "PRR-TTL/K", "DRR2-TTL/S_K"}) {
+    SchedulerBundle b = make_scheduler(p, c, one, simulator, rng);
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(b.scheduler->schedule(i).server, 0) << p;
+  }
+}
+
+TEST_F(SchedulerEdgeTest, SingleDomainSiteWorks) {
+  SchedulerFactoryConfig c = config;
+  c.initial_weights = {1.0};
+  SchedulerBundle b = make_scheduler("PRR2-TTL/K", c, alarms, simulator, rng);
+  const Decision d = b.scheduler->schedule(0);
+  EXPECT_GT(d.ttl_sec, 0.0);
+  // One domain, one class: calibration forces the constant-TTL rate.
+  EXPECT_NEAR(d.ttl_sec, 240.0, 1e-9);
+}
+
+TEST_F(SchedulerEdgeTest, MissingPolicyPartsRejected) {
+  EXPECT_THROW(DnsScheduler("x", nullptr, std::make_unique<ConstantTtlPolicy>(240.0), alarms),
+               std::invalid_argument);
+}
+
+TEST(SchedulerStress, LargeSiteShortRunStaysPhysical) {
+  // 15 servers, 100 domains, 2000 clients: not a paper scenario, but the
+  // library must scale to it without blowing invariants.
+  experiment::SimulationConfig cfg;
+  cfg.cluster.relative.assign(15, 1.0);
+  for (std::size_t i = 5; i < 15; ++i) cfg.cluster.relative[i] = i < 10 ? 0.8 : 0.5;
+  cfg.cluster.total_capacity_hits_per_sec = 2000.0;
+  cfg.num_domains = 100;
+  cfg.total_clients = 2000;
+  cfg.policy = "DRR2-TTL/S_K";
+  cfg.warmup_sec = 60.0;
+  cfg.duration_sec = 600.0;
+  cfg.seed = 404;
+  experiment::Site site(cfg);
+  const experiment::RunResult r = site.run();
+  EXPECT_NEAR(r.aggregate_utilization, 2.0 / 3.0, 0.08);
+  for (double u : r.mean_server_util) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0 + 1e-9);
+  }
+  EXPECT_GT(r.total_pages, 50000u);
+  EXPECT_LT(r.dns_controlled_fraction, 0.05);
+}
+
+}  // namespace
+}  // namespace adattl::core

@@ -1,0 +1,131 @@
+#include "experiment/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "experiment/site.h"
+
+namespace adattl::experiment {
+namespace {
+
+TEST(TraceRecorder, RecordsSamplesWithMax) {
+  TraceRecorder rec;
+  rec.observe(8.0, {0.2, 0.7});
+  rec.observe(16.0, {0.9, 0.1});
+  ASSERT_EQ(rec.samples().size(), 2u);
+  EXPECT_DOUBLE_EQ(rec.samples()[0].time, 8.0);
+  EXPECT_DOUBLE_EQ(rec.samples()[0].max_utilization, 0.7);
+  EXPECT_DOUBLE_EQ(rec.samples()[1].max_utilization, 0.9);
+}
+
+TEST(TraceRecorder, CsvHasHeaderAndRows) {
+  TraceRecorder rec;
+  rec.observe(8.0, {0.25, 0.5});
+  const std::string csv = rec.to_csv();
+  EXPECT_NE(csv.find("time,s0,s1,max\n"), std::string::npos);
+  EXPECT_NE(csv.find("8.000,0.250000,0.500000,0.500000\n"), std::string::npos);
+}
+
+TEST(TraceRecorder, EmptyTraceStillHasHeader) {
+  TraceRecorder rec;
+  EXPECT_EQ(rec.to_csv(), "time,max\n");
+}
+
+TEST(TraceRecorder, CapDropsExcessSamples) {
+  TraceRecorder rec(2);
+  rec.observe(1.0, {0.1});
+  rec.observe(2.0, {0.2});
+  rec.observe(3.0, {0.3});
+  EXPECT_EQ(rec.samples().size(), 2u);
+  EXPECT_EQ(rec.dropped_count(), 1u);
+}
+
+TEST(TraceRecorder, AttachedToSiteRecordsEveryTick) {
+  SimulationConfig cfg;
+  cfg.policy = "RR";
+  cfg.warmup_sec = 0.0;
+  cfg.duration_sec = 800.0;  // 100 ticks at 8 s
+  cfg.seed = 77;
+  Site site(cfg);
+  TraceRecorder rec;
+  rec.attach(site.monitor());
+  site.run();
+  EXPECT_EQ(rec.samples().size(), 100u);
+  // Utilization columns match the cluster size.
+  EXPECT_EQ(rec.samples().front().utilizations.size(), 7u);
+  // Samples are on the 8-second grid.
+  EXPECT_DOUBLE_EQ(rec.samples()[0].time, 8.0);
+  EXPECT_DOUBLE_EQ(rec.samples()[99].time, 800.0);
+}
+
+TEST(TraceRecorder, WriteCsvRoundTrips) {
+  TraceRecorder rec;
+  rec.observe(8.0, {0.5});
+  const std::string path = ::testing::TempDir() + "/adattl_trace_test.csv";
+  rec.write_csv(path);
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[256] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(buf, n), rec.to_csv());
+}
+
+TEST(TraceRecorder, WriteCsvBadPathThrows) {
+  TraceRecorder rec;
+  EXPECT_THROW(rec.write_csv("/nonexistent-dir-xyz/trace.csv"), std::runtime_error);
+}
+
+TEST(RateShiftIntegration, FlashCrowdRaisesLoadAndEstimatorNotices) {
+  SimulationConfig cfg;
+  cfg.cluster = web::table2_cluster(35);
+  cfg.policy = "PRR2-TTL/K";
+  cfg.oracle_weights = false;
+  cfg.warmup_sec = 100.0;
+  cfg.duration_sec = 2000.0;
+  cfg.seed = 13;
+  // Domain 15 (cold under Zipf) becomes 12x hotter at t = 600.
+  cfg.rate_shifts.push_back({600.0, 15, 12.0});
+  Site site(cfg);
+  site.run();
+  EXPECT_DOUBLE_EQ(site.think_time_model().rate_multiplier(15), 12.0);
+  // The online estimator must now rank domain 15 well above its Zipf
+  // neighbours (14, 16).
+  EXPECT_GT(site.domain_model().weight(15), 3.0 * site.domain_model().weight(14));
+  EXPECT_GT(site.domain_model().weight(15), 3.0 * site.domain_model().weight(16));
+}
+
+TEST(RateShiftIntegration, ShiftsValidated) {
+  SimulationConfig cfg;
+  cfg.rate_shifts.push_back({-5.0, 0, 2.0});
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.rate_shifts = {{10.0, 99, 2.0}};
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.rate_shifts = {{10.0, 0, 0.0}};
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.rate_shifts = {{10.0, 0, 2.0}};
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ResponseTimeMetrics, OverloadInflatesWeakServerResponse) {
+  SimulationConfig cfg;
+  cfg.cluster = web::table2_cluster(65);
+  cfg.policy = "RR";
+  cfg.warmup_sec = 100.0;
+  cfg.duration_sec = 1500.0;
+  cfg.seed = 21;
+  const RunResult rr = Site(cfg).run();
+  cfg.policy = "DRR2-TTL/S_K";
+  const RunResult adaptive = Site(cfg).run();
+  EXPECT_GT(rr.mean_page_response_sec, 0.0);
+  EXPECT_GT(adaptive.mean_page_response_sec, 0.0);
+  // RR pins hot domains onto 0.35-capacity servers for 240 s at a time;
+  // its mean response time must be clearly worse.
+  EXPECT_GT(rr.mean_page_response_sec, adaptive.mean_page_response_sec);
+  EXPECT_EQ(rr.per_server_response_sec.size(), 7u);
+}
+
+}  // namespace
+}  // namespace adattl::experiment

@@ -1,0 +1,31 @@
+// The umbrella header must compile standalone and expose the whole public
+// API — this is what downstream users include.
+#include "adattl.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(UmbrellaHeader, ExposesEveryLayer) {
+  // One symbol per layer proves the includes are complete and consistent.
+  adattl::sim::Simulator simulator;
+  adattl::sim::RngStream rng(1);
+  const adattl::web::ClusterSpec spec = adattl::web::table2_cluster(20);
+  EXPECT_EQ(spec.size(), 7);
+
+  adattl::core::AlarmRegistry alarms(7, 0.9);
+  adattl::core::SchedulerFactoryConfig fc;
+  fc.capacities = spec.absolute_capacities();
+  fc.initial_weights = adattl::sim::ZipfDistribution(20, 1.0).probabilities();
+  fc.class_threshold = 0.05;
+  adattl::core::SchedulerBundle bundle =
+      adattl::core::make_scheduler("DRR2-TTL/S_K", fc, alarms, simulator, rng);
+  EXPECT_GT(bundle.scheduler->schedule(0).ttl_sec, 0.0);
+
+  adattl::experiment::SimulationConfig cfg;
+  EXPECT_NO_THROW(cfg.validate());
+  const adattl::workload::DomainSet ds = adattl::workload::make_zipf_domains(20, 500, 15.0);
+  EXPECT_EQ(ds.total_clients(), 500);
+}
+
+}  // namespace

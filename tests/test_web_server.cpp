@@ -1,0 +1,160 @@
+#include "web/web_server.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace adattl::web {
+namespace {
+
+class WebServerTest : public ::testing::Test {
+ protected:
+  sim::Simulator simulator;
+  sim::RngStream rng{1234};
+};
+
+TEST_F(WebServerTest, RejectsBadConstruction) {
+  EXPECT_THROW(WebServer(simulator, 0, 0.0, 5, rng.split()), std::invalid_argument);
+  EXPECT_THROW(WebServer(simulator, 0, -1.0, 5, rng.split()), std::invalid_argument);
+  EXPECT_THROW(WebServer(simulator, 0, 10.0, 0, rng.split()), std::invalid_argument);
+}
+
+TEST_F(WebServerTest, ServesAPageAndInvokesCompletion) {
+  WebServer s(simulator, 0, 100.0, 3, rng.split());
+  bool done = false;
+  s.submit_page(PageRequest{1, 10, [&] { done = true; }});
+  simulator.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(s.pages_served(), 1u);
+  EXPECT_EQ(s.hits_served(), 10u);
+}
+
+TEST_F(WebServerTest, ServiceTimeScalesWithHitsAndCapacity) {
+  WebServer s(simulator, 0, 50.0, 1, rng.split());
+  // Mean service of a 10-hit page at 50 hits/s is 0.2 s; with many pages
+  // the average must converge (Erlang mean).
+  const int pages = 5000;
+  int completed = 0;
+  double submit_time = 0.0;
+  sim::RunningStat durations;
+  // Submit sequentially: next page only after the previous completes, so
+  // queueing never inflates the measured service time.
+  std::function<void()> submit = [&] {
+    if (completed == pages) return;
+    submit_time = simulator.now();
+    s.submit_page(PageRequest{0, 10, [&] {
+                                durations.add(simulator.now() - submit_time);
+                                ++completed;
+                                submit();
+                              }});
+  };
+  submit();
+  simulator.run();
+  EXPECT_EQ(completed, pages);
+  EXPECT_NEAR(durations.mean(), 0.2, 0.01);
+}
+
+TEST_F(WebServerTest, FifoOrderPreserved) {
+  WebServer s(simulator, 0, 100.0, 1, rng.split());
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.submit_page(PageRequest{0, 5, [&order, i] { order.push_back(i); }});
+  }
+  simulator.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST_F(WebServerTest, BusyTimeAccountsQueueingCorrectly) {
+  WebServer s(simulator, 0, 100.0, 1, rng.split());
+  for (int i = 0; i < 20; ++i) s.submit_page(PageRequest{0, 10, nullptr});
+  simulator.run();
+  // 200 hits at 100 hits/s: expected total busy ~2 s (stochastic).
+  const double busy = s.cumulative_busy_time(simulator.now());
+  EXPECT_GT(busy, 1.0);
+  EXPECT_LT(busy, 4.0);
+  // The server was saturated the whole run: busy time == makespan.
+  EXPECT_NEAR(busy, simulator.now(), 1e-9);
+}
+
+TEST_F(WebServerTest, BusyTimeProratesInProgressService) {
+  WebServer s(simulator, 0, 100.0, 1, rng.split());
+  s.submit_page(PageRequest{0, 15, nullptr});
+  // Just after submission, prorated busy time is ~0 and grows with now.
+  const double early = s.cumulative_busy_time(simulator.now());
+  EXPECT_NEAR(early, 0.0, 1e-12);
+  simulator.run_until(0.05);
+  const double later = s.cumulative_busy_time(simulator.now());
+  EXPECT_GT(later, 0.0);
+  EXPECT_LE(later, 0.05 + 1e-12);
+}
+
+TEST_F(WebServerTest, IdleServerAccumulatesNoBusyTime) {
+  WebServer s(simulator, 0, 100.0, 1, rng.split());
+  simulator.run_until(100.0);
+  EXPECT_DOUBLE_EQ(s.cumulative_busy_time(simulator.now()), 0.0);
+}
+
+TEST_F(WebServerTest, DomainHitCountersAccumulateAtArrival) {
+  WebServer s(simulator, 0, 100.0, 3, rng.split());
+  s.submit_page(PageRequest{0, 7, nullptr});
+  s.submit_page(PageRequest{2, 5, nullptr});
+  s.submit_page(PageRequest{2, 6, nullptr});
+  // Counters reflect submissions even before service completes.
+  EXPECT_EQ(s.lifetime_domain_hits()[0], 7u);
+  EXPECT_EQ(s.lifetime_domain_hits()[1], 0u);
+  EXPECT_EQ(s.lifetime_domain_hits()[2], 11u);
+}
+
+TEST_F(WebServerTest, DrainReturnsWindowAndResets) {
+  WebServer s(simulator, 0, 100.0, 2, rng.split());
+  s.submit_page(PageRequest{1, 9, nullptr});
+  const auto first = s.drain_domain_hits();
+  EXPECT_EQ(first[1], 9u);
+  const auto second = s.drain_domain_hits();
+  EXPECT_EQ(second[1], 0u);
+  // Lifetime counters survive draining.
+  EXPECT_EQ(s.lifetime_domain_hits()[1], 9u);
+}
+
+TEST_F(WebServerTest, RejectsInvalidPages) {
+  WebServer s(simulator, 0, 100.0, 2, rng.split());
+  EXPECT_THROW(s.submit_page(PageRequest{0, 0, nullptr}), std::invalid_argument);
+  EXPECT_THROW(s.submit_page(PageRequest{5, 1, nullptr}), std::out_of_range);
+}
+
+TEST_F(WebServerTest, QueueLengthCountsWaitingAndInService) {
+  WebServer s(simulator, 0, 100.0, 1, rng.split());
+  EXPECT_EQ(s.queue_length(), 0u);
+  s.submit_page(PageRequest{0, 5, nullptr});
+  s.submit_page(PageRequest{0, 5, nullptr});
+  s.submit_page(PageRequest{0, 5, nullptr});
+  EXPECT_EQ(s.queue_length(), 3u);
+  simulator.run();
+  EXPECT_EQ(s.queue_length(), 0u);
+}
+
+TEST_F(WebServerTest, ResponseTimeIncludesQueueing) {
+  WebServer s(simulator, 0, 100.0, 1, rng.split());
+  for (int i = 0; i < 50; ++i) s.submit_page(PageRequest{0, 10, nullptr});
+  simulator.run();
+  // The 50th page waited for ~49 services: mean response must far exceed
+  // one service time (0.1 s).
+  EXPECT_GT(s.response_time().mean(), 0.5);
+  EXPECT_EQ(s.response_time().count(), 50u);
+}
+
+TEST_F(WebServerTest, CompletionCallbackMaySubmitImmediately) {
+  WebServer s(simulator, 0, 100.0, 1, rng.split());
+  int served = 0;
+  std::function<void()> resubmit = [&] {
+    if (++served < 10) s.submit_page(PageRequest{0, 5, resubmit});
+  };
+  s.submit_page(PageRequest{0, 5, resubmit});
+  simulator.run();
+  EXPECT_EQ(served, 10);
+  EXPECT_EQ(s.pages_served(), 10u);
+}
+
+}  // namespace
+}  // namespace adattl::web
