@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_alarm.dir/ablation_alarm.cpp.o"
+  "CMakeFiles/ablation_alarm.dir/ablation_alarm.cpp.o.d"
+  "ablation_alarm"
+  "ablation_alarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_alarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_geo.dir/ablation_geo.cpp.o"
+  "CMakeFiles/ablation_geo.dir/ablation_geo.cpp.o.d"
+  "ablation_geo"
+  "ablation_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

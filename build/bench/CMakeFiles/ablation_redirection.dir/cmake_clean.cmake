@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_redirection.dir/ablation_redirection.cpp.o"
+  "CMakeFiles/ablation_redirection.dir/ablation_redirection.cpp.o.d"
+  "ablation_redirection"
+  "ablation_redirection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_redirection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

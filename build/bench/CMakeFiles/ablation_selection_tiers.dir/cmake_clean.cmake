@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_selection_tiers.dir/ablation_selection_tiers.cpp.o"
+  "CMakeFiles/ablation_selection_tiers.dir/ablation_selection_tiers.cpp.o.d"
+  "ablation_selection_tiers"
+  "ablation_selection_tiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_selection_tiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

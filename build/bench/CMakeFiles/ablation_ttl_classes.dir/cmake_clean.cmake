@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ttl_classes.dir/ablation_ttl_classes.cpp.o"
+  "CMakeFiles/ablation_ttl_classes.dir/ablation_ttl_classes.cpp.o.d"
+  "ablation_ttl_classes"
+  "ablation_ttl_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ttl_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

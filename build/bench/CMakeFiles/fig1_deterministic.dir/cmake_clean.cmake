@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_deterministic.dir/fig1_deterministic.cpp.o"
+  "CMakeFiles/fig1_deterministic.dir/fig1_deterministic.cpp.o.d"
+  "fig1_deterministic"
+  "fig1_deterministic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_deterministic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_probabilistic.dir/fig2_probabilistic.cpp.o"
+  "CMakeFiles/fig2_probabilistic.dir/fig2_probabilistic.cpp.o.d"
+  "fig2_probabilistic"
+  "fig2_probabilistic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_probabilistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

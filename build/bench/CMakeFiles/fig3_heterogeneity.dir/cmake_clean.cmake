@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_heterogeneity.dir/fig3_heterogeneity.cpp.o"
+  "CMakeFiles/fig3_heterogeneity.dir/fig3_heterogeneity.cpp.o.d"
+  "fig3_heterogeneity"
+  "fig3_heterogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_min_ttl_het20.dir/fig4_min_ttl_het20.cpp.o"
+  "CMakeFiles/fig4_min_ttl_het20.dir/fig4_min_ttl_het20.cpp.o.d"
+  "fig4_min_ttl_het20"
+  "fig4_min_ttl_het20.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_min_ttl_het20.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_min_ttl_het20.
+# This may be replaced when dependencies are built.

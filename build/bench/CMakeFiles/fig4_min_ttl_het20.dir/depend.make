@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_min_ttl_het20.
+# This may be replaced when dependencies are built.

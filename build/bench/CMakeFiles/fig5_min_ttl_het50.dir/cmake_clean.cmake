@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_min_ttl_het50.dir/fig5_min_ttl_het50.cpp.o"
+  "CMakeFiles/fig5_min_ttl_het50.dir/fig5_min_ttl_het50.cpp.o.d"
+  "fig5_min_ttl_het50"
+  "fig5_min_ttl_het50.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_min_ttl_het50.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_min_ttl_het50.
+# This may be replaced when dependencies are built.

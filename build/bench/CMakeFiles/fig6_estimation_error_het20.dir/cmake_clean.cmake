@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_estimation_error_het20.dir/fig6_estimation_error_het20.cpp.o"
+  "CMakeFiles/fig6_estimation_error_het20.dir/fig6_estimation_error_het20.cpp.o.d"
+  "fig6_estimation_error_het20"
+  "fig6_estimation_error_het20.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_estimation_error_het20.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

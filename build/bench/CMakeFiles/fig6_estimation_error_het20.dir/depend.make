@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_estimation_error_het20.
+# This may be replaced when dependencies are built.

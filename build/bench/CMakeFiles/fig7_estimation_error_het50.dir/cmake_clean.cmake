@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_estimation_error_het50.dir/fig7_estimation_error_het50.cpp.o"
+  "CMakeFiles/fig7_estimation_error_het50.dir/fig7_estimation_error_het50.cpp.o.d"
+  "fig7_estimation_error_het50"
+  "fig7_estimation_error_het50.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_estimation_error_het50.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

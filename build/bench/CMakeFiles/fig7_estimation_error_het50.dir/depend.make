@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_estimation_error_het50.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_random.dir/micro_random.cpp.o"
+  "CMakeFiles/micro_random.dir/micro_random.cpp.o.d"
+  "micro_random"
+  "micro_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

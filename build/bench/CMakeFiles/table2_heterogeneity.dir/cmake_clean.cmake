@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_heterogeneity.dir/table2_heterogeneity.cpp.o"
+  "CMakeFiles/table2_heterogeneity.dir/table2_heterogeneity.cpp.o.d"
+  "table2_heterogeneity"
+  "table2_heterogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coroutine_kernel_demo.dir/coroutine_kernel_demo.cpp.o"
+  "CMakeFiles/coroutine_kernel_demo.dir/coroutine_kernel_demo.cpp.o.d"
+  "coroutine_kernel_demo"
+  "coroutine_kernel_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coroutine_kernel_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

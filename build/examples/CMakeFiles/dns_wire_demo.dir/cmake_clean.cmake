@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_wire_demo.dir/dns_wire_demo.cpp.o"
+  "CMakeFiles/dns_wire_demo.dir/dns_wire_demo.cpp.o.d"
+  "dns_wire_demo"
+  "dns_wire_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_wire_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

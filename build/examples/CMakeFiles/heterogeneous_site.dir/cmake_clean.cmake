@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_site.dir/heterogeneous_site.cpp.o"
+  "CMakeFiles/heterogeneous_site.dir/heterogeneous_site.cpp.o.d"
+  "heterogeneous_site"
+  "heterogeneous_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noncooperative_resolvers.dir/noncooperative_resolvers.cpp.o"
+  "CMakeFiles/noncooperative_resolvers.dir/noncooperative_resolvers.cpp.o.d"
+  "noncooperative_resolvers"
+  "noncooperative_resolvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noncooperative_resolvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

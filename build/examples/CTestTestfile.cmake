@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_coroutine_kernel_demo "/root/repo/build/examples/coroutine_kernel_demo")
+set_tests_properties(example_coroutine_kernel_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dns_wire_demo "/root/repo/build/examples/dns_wire_demo")
+set_tests_properties(example_dns_wire_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_run_scenario "/root/repo/build/examples/run_scenario" "--policy=DRR2-TTL/S_K" "--duration=600" "--warmup=60" "--json")
+set_tests_properties(example_run_scenario PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_run_scenario_help "/root/repo/build/examples/run_scenario" "--help")
+set_tests_properties(example_run_scenario_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_run_scenario_scenario_file "/root/repo/build/examples/run_scenario" "--config=/root/repo/scenarios/hostile_resolvers.scenario" "--duration=600" "--warmup=60" "--replications=1")
+set_tests_properties(example_run_scenario_scenario_file PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alarm_registry.cpp" "src/core/CMakeFiles/adattl_core.dir/alarm_registry.cpp.o" "gcc" "src/core/CMakeFiles/adattl_core.dir/alarm_registry.cpp.o.d"
+  "/root/repo/src/core/dal_policy.cpp" "src/core/CMakeFiles/adattl_core.dir/dal_policy.cpp.o" "gcc" "src/core/CMakeFiles/adattl_core.dir/dal_policy.cpp.o.d"
+  "/root/repo/src/core/domain_model.cpp" "src/core/CMakeFiles/adattl_core.dir/domain_model.cpp.o" "gcc" "src/core/CMakeFiles/adattl_core.dir/domain_model.cpp.o.d"
+  "/root/repo/src/core/load_estimator.cpp" "src/core/CMakeFiles/adattl_core.dir/load_estimator.cpp.o" "gcc" "src/core/CMakeFiles/adattl_core.dir/load_estimator.cpp.o.d"
+  "/root/repo/src/core/mrl_policy.cpp" "src/core/CMakeFiles/adattl_core.dir/mrl_policy.cpp.o" "gcc" "src/core/CMakeFiles/adattl_core.dir/mrl_policy.cpp.o.d"
+  "/root/repo/src/core/policy_factory.cpp" "src/core/CMakeFiles/adattl_core.dir/policy_factory.cpp.o" "gcc" "src/core/CMakeFiles/adattl_core.dir/policy_factory.cpp.o.d"
+  "/root/repo/src/core/proximity_policy.cpp" "src/core/CMakeFiles/adattl_core.dir/proximity_policy.cpp.o" "gcc" "src/core/CMakeFiles/adattl_core.dir/proximity_policy.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/adattl_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/adattl_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/selection_policies.cpp" "src/core/CMakeFiles/adattl_core.dir/selection_policies.cpp.o" "gcc" "src/core/CMakeFiles/adattl_core.dir/selection_policies.cpp.o.d"
+  "/root/repo/src/core/ttl_policy.cpp" "src/core/CMakeFiles/adattl_core.dir/ttl_policy.cpp.o" "gcc" "src/core/CMakeFiles/adattl_core.dir/ttl_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/web/CMakeFiles/adattl_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/adattl_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adattl_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adattl_core.dir/alarm_registry.cpp.o"
+  "CMakeFiles/adattl_core.dir/alarm_registry.cpp.o.d"
+  "CMakeFiles/adattl_core.dir/dal_policy.cpp.o"
+  "CMakeFiles/adattl_core.dir/dal_policy.cpp.o.d"
+  "CMakeFiles/adattl_core.dir/domain_model.cpp.o"
+  "CMakeFiles/adattl_core.dir/domain_model.cpp.o.d"
+  "CMakeFiles/adattl_core.dir/load_estimator.cpp.o"
+  "CMakeFiles/adattl_core.dir/load_estimator.cpp.o.d"
+  "CMakeFiles/adattl_core.dir/mrl_policy.cpp.o"
+  "CMakeFiles/adattl_core.dir/mrl_policy.cpp.o.d"
+  "CMakeFiles/adattl_core.dir/policy_factory.cpp.o"
+  "CMakeFiles/adattl_core.dir/policy_factory.cpp.o.d"
+  "CMakeFiles/adattl_core.dir/proximity_policy.cpp.o"
+  "CMakeFiles/adattl_core.dir/proximity_policy.cpp.o.d"
+  "CMakeFiles/adattl_core.dir/scheduler.cpp.o"
+  "CMakeFiles/adattl_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/adattl_core.dir/selection_policies.cpp.o"
+  "CMakeFiles/adattl_core.dir/selection_policies.cpp.o.d"
+  "CMakeFiles/adattl_core.dir/ttl_policy.cpp.o"
+  "CMakeFiles/adattl_core.dir/ttl_policy.cpp.o.d"
+  "libadattl_core.a"
+  "libadattl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adattl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

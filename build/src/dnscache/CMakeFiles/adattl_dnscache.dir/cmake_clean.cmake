@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adattl_dnscache.dir/client_cache.cpp.o"
+  "CMakeFiles/adattl_dnscache.dir/client_cache.cpp.o.d"
+  "CMakeFiles/adattl_dnscache.dir/name_server.cpp.o"
+  "CMakeFiles/adattl_dnscache.dir/name_server.cpp.o.d"
+  "libadattl_dnscache.a"
+  "libadattl_dnscache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adattl_dnscache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for adattl_dnscache.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for adattl_dnscache.
+# This may be replaced when dependencies are built.

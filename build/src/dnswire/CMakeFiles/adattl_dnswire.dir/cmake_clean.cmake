@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adattl_dnswire.dir/frontend.cpp.o"
+  "CMakeFiles/adattl_dnswire.dir/frontend.cpp.o.d"
+  "CMakeFiles/adattl_dnswire.dir/message.cpp.o"
+  "CMakeFiles/adattl_dnswire.dir/message.cpp.o.d"
+  "libadattl_dnswire.a"
+  "libadattl_dnswire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adattl_dnswire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

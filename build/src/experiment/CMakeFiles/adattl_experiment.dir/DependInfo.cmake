@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/experiment/cli.cpp" "src/experiment/CMakeFiles/adattl_experiment.dir/cli.cpp.o" "gcc" "src/experiment/CMakeFiles/adattl_experiment.dir/cli.cpp.o.d"
+  "/root/repo/src/experiment/config.cpp" "src/experiment/CMakeFiles/adattl_experiment.dir/config.cpp.o" "gcc" "src/experiment/CMakeFiles/adattl_experiment.dir/config.cpp.o.d"
+  "/root/repo/src/experiment/decision_log.cpp" "src/experiment/CMakeFiles/adattl_experiment.dir/decision_log.cpp.o" "gcc" "src/experiment/CMakeFiles/adattl_experiment.dir/decision_log.cpp.o.d"
+  "/root/repo/src/experiment/metrics.cpp" "src/experiment/CMakeFiles/adattl_experiment.dir/metrics.cpp.o" "gcc" "src/experiment/CMakeFiles/adattl_experiment.dir/metrics.cpp.o.d"
+  "/root/repo/src/experiment/report.cpp" "src/experiment/CMakeFiles/adattl_experiment.dir/report.cpp.o" "gcc" "src/experiment/CMakeFiles/adattl_experiment.dir/report.cpp.o.d"
+  "/root/repo/src/experiment/runner.cpp" "src/experiment/CMakeFiles/adattl_experiment.dir/runner.cpp.o" "gcc" "src/experiment/CMakeFiles/adattl_experiment.dir/runner.cpp.o.d"
+  "/root/repo/src/experiment/scenario_file.cpp" "src/experiment/CMakeFiles/adattl_experiment.dir/scenario_file.cpp.o" "gcc" "src/experiment/CMakeFiles/adattl_experiment.dir/scenario_file.cpp.o.d"
+  "/root/repo/src/experiment/site.cpp" "src/experiment/CMakeFiles/adattl_experiment.dir/site.cpp.o" "gcc" "src/experiment/CMakeFiles/adattl_experiment.dir/site.cpp.o.d"
+  "/root/repo/src/experiment/trace.cpp" "src/experiment/CMakeFiles/adattl_experiment.dir/trace.cpp.o" "gcc" "src/experiment/CMakeFiles/adattl_experiment.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/adattl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/adattl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnscache/CMakeFiles/adattl_dnscache.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/adattl_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/adattl_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adattl_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adattl_experiment.dir/cli.cpp.o"
+  "CMakeFiles/adattl_experiment.dir/cli.cpp.o.d"
+  "CMakeFiles/adattl_experiment.dir/config.cpp.o"
+  "CMakeFiles/adattl_experiment.dir/config.cpp.o.d"
+  "CMakeFiles/adattl_experiment.dir/decision_log.cpp.o"
+  "CMakeFiles/adattl_experiment.dir/decision_log.cpp.o.d"
+  "CMakeFiles/adattl_experiment.dir/metrics.cpp.o"
+  "CMakeFiles/adattl_experiment.dir/metrics.cpp.o.d"
+  "CMakeFiles/adattl_experiment.dir/report.cpp.o"
+  "CMakeFiles/adattl_experiment.dir/report.cpp.o.d"
+  "CMakeFiles/adattl_experiment.dir/runner.cpp.o"
+  "CMakeFiles/adattl_experiment.dir/runner.cpp.o.d"
+  "CMakeFiles/adattl_experiment.dir/scenario_file.cpp.o"
+  "CMakeFiles/adattl_experiment.dir/scenario_file.cpp.o.d"
+  "CMakeFiles/adattl_experiment.dir/site.cpp.o"
+  "CMakeFiles/adattl_experiment.dir/site.cpp.o.d"
+  "CMakeFiles/adattl_experiment.dir/trace.cpp.o"
+  "CMakeFiles/adattl_experiment.dir/trace.cpp.o.d"
+  "libadattl_experiment.a"
+  "libadattl_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adattl_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adattl_geo.dir/geo_model.cpp.o"
+  "CMakeFiles/adattl_geo.dir/geo_model.cpp.o.d"
+  "libadattl_geo.a"
+  "libadattl_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adattl_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adattl_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/adattl_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/adattl_sim.dir/random.cpp.o"
+  "CMakeFiles/adattl_sim.dir/random.cpp.o.d"
+  "CMakeFiles/adattl_sim.dir/simulator.cpp.o"
+  "CMakeFiles/adattl_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/adattl_sim.dir/stats.cpp.o"
+  "CMakeFiles/adattl_sim.dir/stats.cpp.o.d"
+  "libadattl_sim.a"
+  "libadattl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adattl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/web/cluster.cpp" "src/web/CMakeFiles/adattl_web.dir/cluster.cpp.o" "gcc" "src/web/CMakeFiles/adattl_web.dir/cluster.cpp.o.d"
+  "/root/repo/src/web/dispatcher.cpp" "src/web/CMakeFiles/adattl_web.dir/dispatcher.cpp.o" "gcc" "src/web/CMakeFiles/adattl_web.dir/dispatcher.cpp.o.d"
+  "/root/repo/src/web/monitor_hub.cpp" "src/web/CMakeFiles/adattl_web.dir/monitor_hub.cpp.o" "gcc" "src/web/CMakeFiles/adattl_web.dir/monitor_hub.cpp.o.d"
+  "/root/repo/src/web/web_server.cpp" "src/web/CMakeFiles/adattl_web.dir/web_server.cpp.o" "gcc" "src/web/CMakeFiles/adattl_web.dir/web_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/adattl_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adattl_web.dir/cluster.cpp.o"
+  "CMakeFiles/adattl_web.dir/cluster.cpp.o.d"
+  "CMakeFiles/adattl_web.dir/dispatcher.cpp.o"
+  "CMakeFiles/adattl_web.dir/dispatcher.cpp.o.d"
+  "CMakeFiles/adattl_web.dir/monitor_hub.cpp.o"
+  "CMakeFiles/adattl_web.dir/monitor_hub.cpp.o.d"
+  "CMakeFiles/adattl_web.dir/web_server.cpp.o"
+  "CMakeFiles/adattl_web.dir/web_server.cpp.o.d"
+  "libadattl_web.a"
+  "libadattl_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adattl_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adattl_workload.dir/client.cpp.o"
+  "CMakeFiles/adattl_workload.dir/client.cpp.o.d"
+  "CMakeFiles/adattl_workload.dir/domain_set.cpp.o"
+  "CMakeFiles/adattl_workload.dir/domain_set.cpp.o.d"
+  "CMakeFiles/adattl_workload.dir/think_time_model.cpp.o"
+  "CMakeFiles/adattl_workload.dir/think_time_model.cpp.o.d"
+  "libadattl_workload.a"
+  "libadattl_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adattl_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

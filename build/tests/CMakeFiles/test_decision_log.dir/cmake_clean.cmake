@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decision_log.dir/test_decision_log.cpp.o"
+  "CMakeFiles/test_decision_log.dir/test_decision_log.cpp.o.d"
+  "test_decision_log"
+  "test_decision_log.pdb"
+  "test_decision_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decision_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dnswire.dir/test_dnswire.cpp.o"
+  "CMakeFiles/test_dnswire.dir/test_dnswire.cpp.o.d"
+  "test_dnswire"
+  "test_dnswire.pdb"
+  "test_dnswire[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dnswire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

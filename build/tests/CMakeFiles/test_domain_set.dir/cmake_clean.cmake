@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_domain_set.dir/test_domain_set.cpp.o"
+  "CMakeFiles/test_domain_set.dir/test_domain_set.cpp.o.d"
+  "test_domain_set"
+  "test_domain_set.pdb"
+  "test_domain_set[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_domain_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

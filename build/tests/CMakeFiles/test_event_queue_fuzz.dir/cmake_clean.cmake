@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event_queue_fuzz.dir/test_event_queue_fuzz.cpp.o"
+  "CMakeFiles/test_event_queue_fuzz.dir/test_event_queue_fuzz.cpp.o.d"
+  "test_event_queue_fuzz"
+  "test_event_queue_fuzz.pdb"
+  "test_event_queue_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event_queue_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_load_estimator.dir/test_load_estimator.cpp.o"
+  "CMakeFiles/test_load_estimator.dir/test_load_estimator.cpp.o.d"
+  "test_load_estimator"
+  "test_load_estimator.pdb"
+  "test_load_estimator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_load_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_monitor_hub.dir/test_monitor_hub.cpp.o"
+  "CMakeFiles/test_monitor_hub.dir/test_monitor_hub.cpp.o.d"
+  "test_monitor_hub"
+  "test_monitor_hub.pdb"
+  "test_monitor_hub[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_monitor_hub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

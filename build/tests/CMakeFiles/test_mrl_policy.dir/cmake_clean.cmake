@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mrl_policy.dir/test_mrl_policy.cpp.o"
+  "CMakeFiles/test_mrl_policy.dir/test_mrl_policy.cpp.o.d"
+  "test_mrl_policy"
+  "test_mrl_policy.pdb"
+  "test_mrl_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mrl_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

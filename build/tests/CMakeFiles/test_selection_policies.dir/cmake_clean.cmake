@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selection_policies.dir/test_selection_policies.cpp.o"
+  "CMakeFiles/test_selection_policies.dir/test_selection_policies.cpp.o.d"
+  "test_selection_policies"
+  "test_selection_policies.pdb"
+  "test_selection_policies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selection_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

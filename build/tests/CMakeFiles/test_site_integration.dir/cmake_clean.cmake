@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_site_integration.dir/test_site_integration.cpp.o"
+  "CMakeFiles/test_site_integration.dir/test_site_integration.cpp.o.d"
+  "test_site_integration"
+  "test_site_integration.pdb"
+  "test_site_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_site_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

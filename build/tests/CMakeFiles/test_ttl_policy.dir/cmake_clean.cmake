@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ttl_policy.dir/test_ttl_policy.cpp.o"
+  "CMakeFiles/test_ttl_policy.dir/test_ttl_policy.cpp.o.d"
+  "test_ttl_policy"
+  "test_ttl_policy.pdb"
+  "test_ttl_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ttl_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_umbrella_header.dir/test_umbrella_header.cpp.o"
+  "CMakeFiles/test_umbrella_header.dir/test_umbrella_header.cpp.o.d"
+  "test_umbrella_header"
+  "test_umbrella_header.pdb"
+  "test_umbrella_header[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_umbrella_header.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

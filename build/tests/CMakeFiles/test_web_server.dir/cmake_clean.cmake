@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_web_server.dir/test_web_server.cpp.o"
+  "CMakeFiles/test_web_server.dir/test_web_server.cpp.o.d"
+  "test_web_server"
+  "test_web_server.pdb"
+  "test_web_server[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_web_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

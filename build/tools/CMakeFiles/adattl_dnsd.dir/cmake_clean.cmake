@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adattl_dnsd.dir/adattl_dnsd.cpp.o"
+  "CMakeFiles/adattl_dnsd.dir/adattl_dnsd.cpp.o.d"
+  "adattl_dnsd"
+  "adattl_dnsd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adattl_dnsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

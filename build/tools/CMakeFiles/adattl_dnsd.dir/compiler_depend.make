@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for adattl_dnsd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for adattl_dnsd.
+# This may be replaced when dependencies are built.
