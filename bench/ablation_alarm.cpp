@@ -15,30 +15,46 @@ int main() {
   bench::print_run_banner("Ablation: alarm feedback", "heterogeneity 35%");
 
   const std::vector<std::string> policies = {"RR", "PRR2-TTL/2", "DRR2-TTL/S_K"};
+  const std::vector<double> thresholds = {0.7, 0.8, 0.9, 0.95, 1.0};
+  const std::vector<std::string> sweep_policies = {"RR", "DRR2-TTL/S_K"};
+
+  experiment::Sweep sweep;
+  for (const auto& p : policies) {
+    experiment::SimulationConfig cfg = bench::paper_config(35);
+    sweep.add_policy(cfg, p, reps, p + " (alarm on)");
+    cfg.alarm_enabled = false;
+    sweep.add_policy(cfg, p, reps, p + " (alarm off)");
+  }
+  for (double theta : thresholds) {
+    experiment::SimulationConfig cfg = bench::paper_config(35);
+    cfg.alarm_threshold = theta;
+    for (const auto& p : sweep_policies) {
+      sweep.add_policy(cfg, p, reps,
+                       p + " @ theta " + experiment::TableReport::fmt(theta, 2));
+    }
+  }
+  const experiment::SweepResult swept = bench::run_sweep(sweep);
+  std::size_t idx = 0;
 
   experiment::TableReport onoff({"policy", "alarm on", "alarm off", "delta"});
   for (const auto& p : policies) {
-    experiment::SimulationConfig cfg = bench::paper_config(35);
-    const double with_alarm = experiment::run_policy(cfg, p, reps).prob_below(0.98).mean;
-    cfg.alarm_enabled = false;
-    const double without = experiment::run_policy(cfg, p, reps).prob_below(0.98).mean;
+    const double with_alarm = swept.points[idx++].prob_below(0.98).mean;
+    const double without = swept.points[idx++].prob_below(0.98).mean;
     onoff.add_row({p, experiment::TableReport::fmt(with_alarm),
                    experiment::TableReport::fmt(without),
                    experiment::TableReport::fmt(with_alarm - without)});
   }
   adattl::bench::emit(onoff, "P(maxUtil < 0.98) with and without alarm feedback");
 
-  experiment::TableReport sweep({"alarm threshold", "RR", "DRR2-TTL/S_K"});
-  for (double theta : {0.7, 0.8, 0.9, 0.95, 1.0}) {
-    experiment::SimulationConfig cfg = bench::paper_config(35);
-    cfg.alarm_threshold = theta;
+  experiment::TableReport thresholds_table({"alarm threshold", "RR", "DRR2-TTL/S_K"});
+  for (double theta : thresholds) {
     std::vector<std::string> row{experiment::TableReport::fmt(theta, 2)};
-    for (const char* p : {"RR", "DRR2-TTL/S_K"}) {
-      row.push_back(experiment::TableReport::fmt(
-          experiment::run_policy(cfg, p, reps).prob_below(0.98).mean));
+    for (std::size_t i = 0; i < sweep_policies.size(); ++i) {
+      row.push_back(experiment::TableReport::fmt(swept.points[idx++].prob_below(0.98).mean));
     }
-    sweep.add_row(std::move(row));
+    thresholds_table.add_row(std::move(row));
   }
-  adattl::bench::emit(sweep, "P(maxUtil < 0.98) vs alarm threshold (1.0 = alarms never fire)");
+  adattl::bench::emit(thresholds_table,
+                      "P(maxUtil < 0.98) vs alarm threshold (1.0 = alarms never fire)");
   return 0;
 }

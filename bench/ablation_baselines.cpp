@@ -24,13 +24,21 @@ int main() {
       "RR", "RR2", "WRR", "DAL", "MRL", "PRR-TTL/1", "PRR2-TTL/K", "DRR2-TTL/S_K",
   };
 
-  experiment::TableReport table({"policy", "P(maxU<0.98)", "DNS ctrl %",
-                                 "NS queries absorbed by client caches %"});
+  experiment::Sweep sweep;
   for (const auto& p : policies) {
     experiment::SimulationConfig cfg = bench::paper_config(35);
-    const experiment::ReplicatedResult ns_only = experiment::run_policy(cfg, p, reps);
+    sweep.add_policy(cfg, p, reps, p + " (NS only)");
     cfg.client_cache_enabled = true;
-    const experiment::ReplicatedResult with_cc = experiment::run_policy(cfg, p, reps);
+    sweep.add_policy(cfg, p, reps, p + " (client caches)");
+  }
+  const experiment::SweepResult swept = bench::run_sweep(sweep);
+
+  experiment::TableReport table({"policy", "P(maxU<0.98)", "DNS ctrl %",
+                                 "NS queries absorbed by client caches %"});
+  std::size_t idx = 0;
+  for (const auto& p : policies) {
+    const experiment::ReplicatedResult& ns_only = swept.points[idx++];
+    const experiment::ReplicatedResult& with_cc = swept.points[idx++];
     const double absorbed =
         with_cc
             .ci([](const auto& r) {

@@ -14,13 +14,22 @@ int main() {
   const int reps = experiment::default_replications();
   bench::print_run_banner("Ablation: TTL calibration", "heterogeneity 35%");
 
+  const std::vector<std::string> policies = {"PRR2-TTL/2", "PRR2-TTL/K", "DRR2-TTL/S_K"};
+  experiment::Sweep sweep;
+  for (const auto& p : policies) {
+    experiment::SimulationConfig cfg = bench::paper_config(35);
+    sweep.add_policy(cfg, p, reps, p + " (calibrated)");
+    cfg.calibrate_ttl = false;
+    sweep.add_policy(cfg, p, reps, p + " (uncalibrated)");
+  }
+  const experiment::SweepResult swept = bench::run_sweep(sweep);
+
   experiment::TableReport table({"policy", "calibrated", "addr req/s", "uncalibrated",
                                  "addr req/s (uncal)"});
-  for (const char* p : {"PRR2-TTL/2", "PRR2-TTL/K", "DRR2-TTL/S_K"}) {
-    experiment::SimulationConfig cfg = bench::paper_config(35);
-    const experiment::ReplicatedResult cal = experiment::run_policy(cfg, p, reps);
-    cfg.calibrate_ttl = false;
-    const experiment::ReplicatedResult uncal = experiment::run_policy(cfg, p, reps);
+  std::size_t idx = 0;
+  for (const auto& p : policies) {
+    const experiment::ReplicatedResult& cal = swept.points[idx++];
+    const experiment::ReplicatedResult& uncal = swept.points[idx++];
     table.add_row({p, experiment::TableReport::fmt(cal.prob_below(0.98).mean),
                    experiment::TableReport::fmt(cal.address_request_rate().mean, 4),
                    experiment::TableReport::fmt(uncal.prob_below(0.98).mean),

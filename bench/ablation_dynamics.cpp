@@ -34,20 +34,26 @@ int main() {
       {"DRR2-TTL/S_K, online estimator", "DRR2-TTL/S_K", true},
   };
 
+  experiment::Sweep sweep;
   for (const Variant& v : variants) {
     experiment::SimulationConfig cfg = bench::paper_config(35);
     cfg.policy = v.policy;
     cfg.oracle_weights = !v.measured;
-
-    const double quiet = experiment::run_replications(cfg, reps).prob_below(0.98).mean;
+    sweep.add(cfg, reps, std::string(v.label) + " (static)");
 
     experiment::SimulationConfig crowd = cfg;
     // Domain 12 (cold: ~2% of load under Zipf-20) turns 10x hotter one
     // third into the measured period.
     crowd.rate_shifts.push_back(
         {crowd.warmup_sec + crowd.duration_sec / 3.0, 12, 10.0});
-    const double shifted = experiment::run_replications(crowd, reps).prob_below(0.98).mean;
+    sweep.add(crowd, reps, std::string(v.label) + " (flash crowd)");
+  }
+  const experiment::SweepResult swept = bench::run_sweep(sweep);
 
+  std::size_t idx = 0;
+  for (const Variant& v : variants) {
+    const double quiet = swept.points[idx++].prob_below(0.98).mean;
+    const double shifted = swept.points[idx++].prob_below(0.98).mean;
     table.add_row({v.label, experiment::TableReport::fmt(quiet),
                    experiment::TableReport::fmt(shifted)});
   }

@@ -42,13 +42,22 @@ int main() {
        }},
   };
 
+  const std::vector<std::string> policies = {"PRR2-TTL/K", "DRR2-TTL/S_K"};
+  experiment::Sweep sweep;
   for (const Variant& v : variants) {
-    std::vector<std::string> row{v.label};
-    for (const char* p : {"PRR2-TTL/K", "DRR2-TTL/S_K"}) {
+    for (const auto& p : policies) {
       experiment::SimulationConfig cfg = bench::paper_config(35);
       v.apply(cfg);
-      row.push_back(experiment::TableReport::fmt(
-          experiment::run_policy(cfg, p, reps).prob_below(0.98).mean));
+      sweep.add_policy(cfg, p, reps, p + ", " + v.label);
+    }
+  }
+  const experiment::SweepResult swept = bench::run_sweep(sweep);
+
+  std::size_t idx = 0;
+  for (const Variant& v : variants) {
+    std::vector<std::string> row{v.label};
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+      row.push_back(experiment::TableReport::fmt(swept.points[idx++].prob_below(0.98).mean));
     }
     table.add_row(std::move(row));
   }

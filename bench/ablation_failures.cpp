@@ -30,6 +30,7 @@ int main() {
       {"outage, + queue-depth alarms (extension)", true, 30},
   };
 
+  experiment::Sweep sweep;
   for (const Variant& v : variants) {
     experiment::SimulationConfig cfg = bench::paper_config(35);
     cfg.policy = "DRR2-TTL/S_K";
@@ -38,7 +39,13 @@ int main() {
       // Stall server 2 for 10 minutes, one third into the measured period.
       cfg.outages.push_back({cfg.warmup_sec + cfg.duration_sec / 3.0, 600.0, 2});
     }
-    const experiment::ReplicatedResult rep = experiment::run_replications(cfg, reps);
+    sweep.add(cfg, reps, v.label);
+  }
+  const experiment::SweepResult swept = bench::run_sweep(sweep);
+
+  std::size_t idx = 0;
+  for (const Variant& v : variants) {
+    const experiment::ReplicatedResult& rep = swept.points[idx++];
     table.add_row(
         {v.label,
          experiment::TableReport::fmt(

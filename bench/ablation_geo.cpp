@@ -19,13 +19,21 @@ int main() {
   experiment::TableReport table({"policy", "P(maxU<0.98)", "mean RTT (ms)",
                                  "server resp (s)", "client page time (s)"});
 
-  for (const char* policy : {"RR", "WRR", "PRR2-TTL/K", "DRR2-TTL/S_K", "GEO", "GEO-TTL/K"}) {
+  const std::vector<std::string> policies = {"RR",           "WRR", "PRR2-TTL/K",
+                                             "DRR2-TTL/S_K", "GEO", "GEO-TTL/K"};
+  experiment::Sweep sweep;
+  for (const auto& policy : policies) {
     experiment::SimulationConfig cfg = bench::paper_config(35);
-    cfg.policy = policy;
     cfg.geo_regions = 3;
     cfg.geo_intra_rtt_sec = 0.020;
     cfg.geo_inter_rtt_sec = 0.150;
-    const experiment::ReplicatedResult rep = experiment::run_replications(cfg, reps);
+    sweep.add_policy(cfg, policy, reps);
+  }
+  const experiment::SweepResult swept = bench::run_sweep(sweep);
+
+  std::size_t idx = 0;
+  for (const auto& policy : policies) {
+    const experiment::ReplicatedResult& rep = swept.points[idx++];
     const double rtt = rep.ci([](const auto& r) { return r.mean_network_rtt_sec; }).mean;
     const double server = rep.ci([](const auto& r) { return r.mean_page_response_sec; }).mean;
     table.add_row({policy, experiment::TableReport::fmt(rep.prob_below(0.98).mean),

@@ -26,12 +26,21 @@ int main() {
   experiment::TableReport table({"policy", "P(maxU<0.98)", "P(maxU<0.98) redir",
                                  "mean resp (s)", "mean resp (s) redir", "redirected %"});
 
-  for (const char* policy : {"RR", "RR2", "PRR-TTL/1", "PRR2-TTL/K", "DRR2-TTL/S_K"}) {
+  const std::vector<std::string> policies = {"RR", "RR2", "PRR-TTL/1", "PRR2-TTL/K",
+                                             "DRR2-TTL/S_K"};
+  experiment::Sweep sweep;
+  for (const auto& policy : policies) {
     experiment::SimulationConfig cfg = bench::paper_config(50);
-    cfg.policy = policy;
-    const experiment::ReplicatedResult plain = experiment::run_replications(cfg, reps);
+    sweep.add_policy(cfg, policy, reps, policy + " (plain)");
     cfg.redirect_enabled = true;
-    const experiment::ReplicatedResult redir = experiment::run_replications(cfg, reps);
+    sweep.add_policy(cfg, policy, reps, policy + " (redirect)");
+  }
+  const experiment::SweepResult swept = bench::run_sweep(sweep);
+
+  std::size_t idx = 0;
+  for (const auto& policy : policies) {
+    const experiment::ReplicatedResult& plain = swept.points[idx++];
+    const experiment::ReplicatedResult& redir = swept.points[idx++];
     table.add_row(
         {policy, experiment::TableReport::fmt(plain.prob_below(0.98).mean),
          experiment::TableReport::fmt(redir.prob_below(0.98).mean),

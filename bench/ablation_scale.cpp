@@ -30,28 +30,55 @@ int main() {
   const int reps = experiment::default_replications();
   bench::print_run_banner("Ablation: site scale", "domains K = 10..100, servers N = 5..17");
 
-  experiment::TableReport domains({"K domains", "RR", "PRR2-TTL/2", "PRR2-TTL/K",
-                                   "DRR2-TTL/S_K"});
-  for (int k : {10, 20, 50, 100}) {
+  const std::vector<int> domain_counts = {10, 20, 50, 100};
+  const std::vector<std::string> domain_policies = {"RR", "PRR2-TTL/2", "PRR2-TTL/K",
+                                                    "DRR2-TTL/S_K"};
+  const std::vector<int> server_counts = {5, 7, 11, 17};
+  const std::vector<std::string> server_policies = {"RR", "PRR2-TTL/K", "DRR2-TTL/S_K"};
+  const std::vector<int> ns_fanouts = {1, 2, 4, 8};
+  const std::vector<std::string> fanout_policies = {"RR", "PRR2-TTL/K", "DRR2-TTL/S_K"};
+
+  experiment::Sweep sweep;
+  for (int k : domain_counts) {
     experiment::SimulationConfig cfg = bench::paper_config(35);
     cfg.num_domains = k;
+    for (const auto& p : domain_policies) {
+      sweep.add_policy(cfg, p, reps, p + " @ K=" + std::to_string(k));
+    }
+  }
+  for (int n : server_counts) {
+    experiment::SimulationConfig cfg = bench::paper_config(35);
+    cfg.cluster = synthetic_cluster(n);  // total capacity stays 500 hits/s
+    for (const auto& p : server_policies) {
+      sweep.add_policy(cfg, p, reps, p + " @ N=" + std::to_string(n));
+    }
+  }
+  for (int m : ns_fanouts) {
+    experiment::SimulationConfig cfg = bench::paper_config(35);
+    cfg.ns_per_domain = m;
+    for (const auto& p : fanout_policies) {
+      sweep.add_policy(cfg, p, reps, p + " @ NS/domain=" + std::to_string(m));
+    }
+  }
+  const experiment::SweepResult swept = bench::run_sweep(sweep);
+  std::size_t idx = 0;
+
+  experiment::TableReport domains({"K domains", "RR", "PRR2-TTL/2", "PRR2-TTL/K",
+                                   "DRR2-TTL/S_K"});
+  for (int k : domain_counts) {
     std::vector<std::string> row{std::to_string(k)};
-    for (const char* p : {"RR", "PRR2-TTL/2", "PRR2-TTL/K", "DRR2-TTL/S_K"}) {
-      row.push_back(experiment::TableReport::fmt(
-          experiment::run_policy(cfg, p, reps).prob_below(0.98).mean));
+    for (std::size_t i = 0; i < domain_policies.size(); ++i) {
+      row.push_back(experiment::TableReport::fmt(swept.points[idx++].prob_below(0.98).mean));
     }
     domains.add_row(std::move(row));
   }
   adattl::bench::emit(domains, "P(maxUtil < 0.98) vs number of connected domains");
 
   experiment::TableReport servers({"N servers", "RR", "PRR2-TTL/K", "DRR2-TTL/S_K"});
-  for (int n : {5, 7, 11, 17}) {
-    experiment::SimulationConfig cfg = bench::paper_config(35);
-    cfg.cluster = synthetic_cluster(n);  // total capacity stays 500 hits/s
+  for (int n : server_counts) {
     std::vector<std::string> row{std::to_string(n)};
-    for (const char* p : {"RR", "PRR2-TTL/K", "DRR2-TTL/S_K"}) {
-      row.push_back(experiment::TableReport::fmt(
-          experiment::run_policy(cfg, p, reps).prob_below(0.98).mean));
+    for (std::size_t i = 0; i < server_policies.size(); ++i) {
+      row.push_back(experiment::TableReport::fmt(swept.points[idx++].prob_below(0.98).mean));
     }
     servers.add_row(std::move(row));
   }
@@ -61,15 +88,13 @@ int main() {
   // population (each cache pins a smaller slice per TTL window).
   experiment::TableReport fanout(
       {"NS per domain", "RR", "PRR2-TTL/K", "DRR2-TTL/S_K", "DNS ctrl % (RR)"});
-  for (int m : {1, 2, 4, 8}) {
-    experiment::SimulationConfig cfg = bench::paper_config(35);
-    cfg.ns_per_domain = m;
+  for (int m : ns_fanouts) {
     std::vector<std::string> row{std::to_string(m)};
     double ctrl = 0.0;
-    for (const char* p : {"RR", "PRR2-TTL/K", "DRR2-TTL/S_K"}) {
-      const experiment::ReplicatedResult rep = experiment::run_policy(cfg, p, reps);
+    for (const auto& p : fanout_policies) {
+      const experiment::ReplicatedResult& rep = swept.points[idx++];
       row.push_back(experiment::TableReport::fmt(rep.prob_below(0.98).mean));
-      if (std::string(p) == "RR") {
+      if (p == "RR") {
         ctrl = rep.ci([](const auto& r) { return r.dns_controlled_fraction; }).mean;
       }
     }

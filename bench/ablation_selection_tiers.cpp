@@ -29,12 +29,19 @@ int main() {
       {"RR4", "RR4-TTL/K", "RR4"},
       {"RRK (per-domain)", "RRK-TTL/K", "RRK"},
   };
+  experiment::Sweep sweep;
   for (const Row& row : rows) {
-    table.add_row({row.label,
-                   experiment::TableReport::fmt(
-                       experiment::run_policy(cfg, row.adaptive, reps).prob_below(0.98).mean),
-                   experiment::TableReport::fmt(
-                       experiment::run_policy(cfg, row.constant, reps).prob_below(0.98).mean)});
+    sweep.add_policy(cfg, row.adaptive, reps, std::string(row.label) + " + TTL/K");
+    sweep.add_policy(cfg, row.constant, reps, std::string(row.label) + " + TTL/1");
+  }
+  const experiment::SweepResult swept = bench::run_sweep(sweep);
+
+  std::size_t idx = 0;
+  for (const Row& row : rows) {
+    const double adaptive = swept.points[idx++].prob_below(0.98).mean;
+    const double constant = swept.points[idx++].prob_below(0.98).mean;
+    table.add_row({row.label, experiment::TableReport::fmt(adaptive),
+                   experiment::TableReport::fmt(constant)});
   }
   bench::emit(table, "P(maxUtil < 0.98) vs selection tier count");
   return 0;

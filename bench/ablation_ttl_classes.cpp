@@ -16,11 +16,18 @@ int main() {
       {"classes i", "PRR2-TTL/i", "DRR2-TTL/S_i", "mean TTL PRR2 (s)"});
   const experiment::SimulationConfig cfg = bench::paper_config(35);
 
-  for (const std::string i : {"1", "2", "3", "4", "K"}) {
-    const experiment::ReplicatedResult prob =
-        experiment::run_policy(cfg, "PRR2-TTL/" + i, reps);
-    const experiment::ReplicatedResult det =
-        experiment::run_policy(cfg, "DRR2-TTL/S_" + i, reps);
+  const std::vector<std::string> class_counts = {"1", "2", "3", "4", "K"};
+  experiment::Sweep sweep;
+  for (const std::string& i : class_counts) {
+    sweep.add_policy(cfg, "PRR2-TTL/" + i, reps);
+    sweep.add_policy(cfg, "DRR2-TTL/S_" + i, reps);
+  }
+  const experiment::SweepResult swept = bench::run_sweep(sweep);
+
+  std::size_t idx = 0;
+  for (const std::string& i : class_counts) {
+    const experiment::ReplicatedResult& prob = swept.points[idx++];
+    const experiment::ReplicatedResult& det = swept.points[idx++];
     table.add_row({i, experiment::TableReport::fmt(prob.prob_below(0.98).mean),
                    experiment::TableReport::fmt(det.prob_below(0.98).mean),
                    experiment::TableReport::fmt(

@@ -14,17 +14,29 @@ int main() {
   const int reps = experiment::default_replications();
   bench::print_run_banner("Ablation: Zipf exponent", "heterogeneity 35%");
 
-  experiment::TableReport table(
-      {"theta", "top-domain share", "RR", "PRR-TTL/1", "PRR2-TTL/K", "DRR2-TTL/S_K"});
-  for (double theta : {0.0, 0.5, 0.8, 1.0, 1.2, 1.4}) {
+  const std::vector<double> thetas = {0.0, 0.5, 0.8, 1.0, 1.2, 1.4};
+  const std::vector<std::string> policies = {"RR", "PRR-TTL/1", "PRR2-TTL/K", "DRR2-TTL/S_K"};
+
+  experiment::Sweep sweep;
+  for (double theta : thetas) {
     experiment::SimulationConfig cfg = bench::paper_config(35);
     cfg.zipf_theta = theta;
-    const sim::ZipfDistribution z(cfg.num_domains, theta);
+    for (const auto& p : policies) {
+      sweep.add_policy(cfg, p, reps,
+                       p + " @ theta " + experiment::TableReport::fmt(theta, 1));
+    }
+  }
+  const experiment::SweepResult swept = bench::run_sweep(sweep);
+
+  experiment::TableReport table(
+      {"theta", "top-domain share", "RR", "PRR-TTL/1", "PRR2-TTL/K", "DRR2-TTL/S_K"});
+  std::size_t idx = 0;
+  for (double theta : thetas) {
+    const sim::ZipfDistribution z(bench::paper_config(35).num_domains, theta);
     std::vector<std::string> row{experiment::TableReport::fmt(theta, 1),
                                  experiment::TableReport::fmt(z.pmf(1), 3)};
-    for (const char* p : {"RR", "PRR-TTL/1", "PRR2-TTL/K", "DRR2-TTL/S_K"}) {
-      row.push_back(experiment::TableReport::fmt(
-          experiment::run_policy(cfg, p, reps).prob_below(0.98).mean));
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+      row.push_back(experiment::TableReport::fmt(swept.points[idx++].prob_below(0.98).mean));
     }
     table.add_row(std::move(row));
   }

@@ -2,12 +2,15 @@
 
 // Shared setup for the figure-reproduction benches: the paper's default
 // scenario (Table 1) with duration/replications overridable through the
-// ADATTL_DURATION_SEC / ADATTL_REPLICATIONS environment variables.
+// ADATTL_DURATION_SEC / ADATTL_REPLICATIONS environment variables, and the
+// parallel sweep driver (worker count from ADATTL_JOBS; 1 = serial, output
+// bit-identical either way).
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "experiment/parallel_executor.h"
 #include "experiment/report.h"
 #include "experiment/runner.h"
 
@@ -31,9 +34,11 @@ inline bool csv_mode() {
 inline void print_run_banner(const char* figure, const std::string& detail) {
   if (csv_mode()) return;
   std::printf("%s — %s\n", figure, detail.c_str());
-  std::printf("(replications = %d, measured period = %.0f s per run; override via\n"
-              " ADATTL_REPLICATIONS / ADATTL_DURATION_SEC; ADATTL_CSV=1 for CSV)\n",
-              experiment::default_replications(), experiment::default_duration_sec());
+  std::printf("(replications = %d, measured period = %.0f s per run, %d jobs; override\n"
+              " via ADATTL_REPLICATIONS / ADATTL_DURATION_SEC / ADATTL_JOBS;\n"
+              " ADATTL_CSV=1 for CSV)\n",
+              experiment::default_replications(), experiment::default_duration_sec(),
+              experiment::default_jobs());
 }
 
 /// Prints a table honoring the CSV mode switch.
@@ -45,13 +50,35 @@ inline void emit(const experiment::TableReport& table, const std::string& title)
   }
 }
 
-/// Runs one policy under the "Ideal" scenario of Figures 1-2: PRR with a
-/// constant TTL under a *uniform* client distribution.
-inline experiment::ReplicatedResult run_ideal(experiment::SimulationConfig cfg,
-                                              int replications) {
+/// The "Ideal" envelope of Figures 1-2: PRR with a constant TTL under a
+/// *uniform* client distribution.
+inline experiment::SimulationConfig ideal_config(experiment::SimulationConfig cfg) {
   cfg.uniform_clients = true;
   cfg.policy = "PRR-TTL/1";
-  return experiment::run_replications(cfg, replications);
+  return cfg;
+}
+
+/// Drives a whole sweep through the parallel executor, printing one
+/// progress line per completed point and a final per-point timing summary
+/// on stderr (suppressed in CSV mode). Results come back in add() order,
+/// bit-identical to the serial path.
+inline experiment::SweepResult run_sweep(const experiment::Sweep& sweep) {
+  const bool quiet = csv_mode();
+  experiment::ParallelExecutor executor;
+  experiment::SweepResult res =
+      sweep.run(executor, [quiet](const experiment::SweepPointDone& p) {
+        if (quiet) return;
+        std::fprintf(stderr, "  [%zu/%zu] %s: %.1f s sim, %.1f s elapsed\n", p.completed,
+                     p.total, p.label.empty() ? "(point)" : p.label.c_str(), p.cpu_seconds,
+                     p.elapsed_seconds);
+      });
+  if (!quiet) {
+    double cpu = 0.0;
+    for (double s : res.point_cpu_seconds) cpu += s;
+    std::fprintf(stderr, "sweep: %zu points in %.1f s wall (%.1f s of runs, %d jobs)\n",
+                 res.points.size(), res.wall_seconds, cpu, res.jobs);
+  }
+  return res;
 }
 
 }  // namespace adattl::bench

@@ -20,9 +20,16 @@ int main() {
       "DRR2-TTL/S_1", "DRR-TTL/S_1", "RR",
   };
 
+  experiment::Sweep sweep;
+  sweep.add(bench::ideal_config(cfg), reps, "Ideal");
+  for (const auto& p : policies) sweep.add_policy(cfg, p, reps);
+  experiment::SweepResult swept = bench::run_sweep(sweep);
+
   std::vector<std::pair<std::string, experiment::ReplicatedResult>> results;
-  results.emplace_back("Ideal", bench::run_ideal(cfg, reps));
-  for (const auto& p : policies) results.emplace_back(p, experiment::run_policy(cfg, p, reps));
+  results.emplace_back("Ideal", std::move(swept.points[0]));
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    results.emplace_back(policies[i], std::move(swept.points[i + 1]));
+  }
 
   // CDF series at the utilization grid the paper plots.
   experiment::TableReport curve({"maxUtil", "Ideal", "DRR2-TTL/S_K", "DRR-TTL/S_K",

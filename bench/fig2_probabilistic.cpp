@@ -18,9 +18,16 @@ int main() {
       "PRR2-TTL/K", "PRR-TTL/K", "PRR2-TTL/2", "PRR-TTL/2", "PRR2-TTL/1", "PRR-TTL/1", "RR",
   };
 
+  experiment::Sweep sweep;
+  sweep.add(bench::ideal_config(cfg), reps, "Ideal");
+  for (const auto& p : policies) sweep.add_policy(cfg, p, reps);
+  experiment::SweepResult swept = bench::run_sweep(sweep);
+
   std::vector<std::pair<std::string, experiment::ReplicatedResult>> results;
-  results.emplace_back("Ideal", bench::run_ideal(cfg, reps));
-  for (const auto& p : policies) results.emplace_back(p, experiment::run_policy(cfg, p, reps));
+  results.emplace_back("Ideal", std::move(swept.points[0]));
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    results.emplace_back(policies[i], std::move(swept.points[i + 1]));
+  }
 
   experiment::TableReport curve({"maxUtil", "Ideal", "PRR2-TTL/K", "PRR-TTL/K", "PRR2-TTL/2",
                                  "PRR-TTL/2", "PRR2-TTL/1", "PRR-TTL/1", "RR"});

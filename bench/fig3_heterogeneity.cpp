@@ -21,12 +21,21 @@ int main() {
   for (const auto& p : policies) headers.push_back(p);
   experiment::TableReport table(headers);
 
-  for (int level : {20, 35, 50, 65}) {
+  const std::vector<int> levels = {20, 35, 50, 65};
+  experiment::Sweep sweep;
+  for (int level : levels) {
     const experiment::SimulationConfig cfg = bench::paper_config(level);
-    std::vector<std::string> row{std::to_string(level) + "%"};
     for (const auto& p : policies) {
-      const experiment::ReplicatedResult rep = experiment::run_policy(cfg, p, reps);
-      row.push_back(experiment::TableReport::fmt(rep.prob_below(0.98).mean));
+      sweep.add_policy(cfg, p, reps, p + " @ " + std::to_string(level) + "%");
+    }
+  }
+  const experiment::SweepResult swept = bench::run_sweep(sweep);
+
+  std::size_t idx = 0;
+  for (int level : levels) {
+    std::vector<std::string> row{std::to_string(level) + "%"};
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+      row.push_back(experiment::TableReport::fmt(swept.points[idx++].prob_below(0.98).mean));
     }
     table.add_row(std::move(row));
   }

@@ -25,13 +25,23 @@ inline int run_estimation_error_figure(const char* figure, int heterogeneity_per
   for (const auto& p : policies) headers.push_back(p);
   experiment::TableReport table(headers);
 
-  for (double err : {0.0, 10.0, 20.0, 30.0, 40.0, 50.0}) {
+  const std::vector<double> errors = {0.0, 10.0, 20.0, 30.0, 40.0, 50.0};
+  experiment::Sweep sweep;
+  for (double err : errors) {
     experiment::SimulationConfig cfg = paper_config(heterogeneity_percent);
     cfg.rate_perturbation_percent = err;
-    std::vector<std::string> row{experiment::TableReport::fmt(err, 0)};
     for (const auto& p : policies) {
-      const experiment::ReplicatedResult rep = experiment::run_policy(cfg, p, reps);
-      row.push_back(experiment::TableReport::fmt(rep.prob_below(0.98).mean));
+      sweep.add_policy(cfg, p, reps,
+                       p + " @ error " + experiment::TableReport::fmt(err, 0) + "%");
+    }
+  }
+  const experiment::SweepResult swept = run_sweep(sweep);
+
+  std::size_t idx = 0;
+  for (double err : errors) {
+    std::vector<std::string> row{experiment::TableReport::fmt(err, 0)};
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+      row.push_back(experiment::TableReport::fmt(swept.points[idx++].prob_below(0.98).mean));
     }
     table.add_row(std::move(row));
   }

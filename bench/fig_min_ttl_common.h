@@ -21,13 +21,23 @@ inline int run_min_ttl_figure(const char* figure, int heterogeneity_percent) {
   for (const auto& p : policies) headers.push_back(p);
   experiment::TableReport table(headers);
 
-  for (double min_ttl : {0.0, 30.0, 60.0, 90.0, 120.0, 180.0, 240.0, 300.0}) {
+  const std::vector<double> min_ttls = {0.0, 30.0, 60.0, 90.0, 120.0, 180.0, 240.0, 300.0};
+  experiment::Sweep sweep;
+  for (double min_ttl : min_ttls) {
     experiment::SimulationConfig cfg = paper_config(heterogeneity_percent);
     cfg.ns_min_ttl_sec = min_ttl;
-    std::vector<std::string> row{experiment::TableReport::fmt(min_ttl, 0)};
     for (const auto& p : policies) {
-      const experiment::ReplicatedResult rep = experiment::run_policy(cfg, p, reps);
-      row.push_back(experiment::TableReport::fmt(rep.prob_below(0.98).mean));
+      sweep.add_policy(cfg, p, reps,
+                       p + " @ minTTL " + experiment::TableReport::fmt(min_ttl, 0) + "s");
+    }
+  }
+  const experiment::SweepResult swept = run_sweep(sweep);
+
+  std::size_t idx = 0;
+  for (double min_ttl : min_ttls) {
+    std::vector<std::string> row{experiment::TableReport::fmt(min_ttl, 0)};
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+      row.push_back(experiment::TableReport::fmt(swept.points[idx++].prob_below(0.98).mean));
     }
     table.add_row(std::move(row));
   }

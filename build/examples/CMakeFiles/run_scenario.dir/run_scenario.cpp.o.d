@@ -244,7 +244,19 @@ examples/CMakeFiles/run_scenario.dir/run_scenario.cpp.o: \
  /root/repo/src/experiment/decision_log.h /root/repo/src/core/scheduler.h \
  /root/repo/src/core/alarm_registry.h \
  /root/repo/src/core/selection_policy.h /root/repo/src/core/ttl_policy.h \
- /root/repo/src/core/domain_model.h /root/repo/src/experiment/report.h \
+ /root/repo/src/core/domain_model.h \
+ /root/repo/src/experiment/parallel_executor.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/experiment/report.h \
  /root/repo/src/experiment/runner.h /root/repo/src/experiment/site.h \
  /root/repo/src/core/load_estimator.h \
  /root/repo/src/core/policy_factory.h \

@@ -11,7 +11,9 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/experiment/cli.cpp" "src/experiment/CMakeFiles/adattl_experiment.dir/cli.cpp.o" "gcc" "src/experiment/CMakeFiles/adattl_experiment.dir/cli.cpp.o.d"
   "/root/repo/src/experiment/config.cpp" "src/experiment/CMakeFiles/adattl_experiment.dir/config.cpp.o" "gcc" "src/experiment/CMakeFiles/adattl_experiment.dir/config.cpp.o.d"
   "/root/repo/src/experiment/decision_log.cpp" "src/experiment/CMakeFiles/adattl_experiment.dir/decision_log.cpp.o" "gcc" "src/experiment/CMakeFiles/adattl_experiment.dir/decision_log.cpp.o.d"
+  "/root/repo/src/experiment/env_config.cpp" "src/experiment/CMakeFiles/adattl_experiment.dir/env_config.cpp.o" "gcc" "src/experiment/CMakeFiles/adattl_experiment.dir/env_config.cpp.o.d"
   "/root/repo/src/experiment/metrics.cpp" "src/experiment/CMakeFiles/adattl_experiment.dir/metrics.cpp.o" "gcc" "src/experiment/CMakeFiles/adattl_experiment.dir/metrics.cpp.o.d"
+  "/root/repo/src/experiment/parallel_executor.cpp" "src/experiment/CMakeFiles/adattl_experiment.dir/parallel_executor.cpp.o" "gcc" "src/experiment/CMakeFiles/adattl_experiment.dir/parallel_executor.cpp.o.d"
   "/root/repo/src/experiment/report.cpp" "src/experiment/CMakeFiles/adattl_experiment.dir/report.cpp.o" "gcc" "src/experiment/CMakeFiles/adattl_experiment.dir/report.cpp.o.d"
   "/root/repo/src/experiment/runner.cpp" "src/experiment/CMakeFiles/adattl_experiment.dir/runner.cpp.o" "gcc" "src/experiment/CMakeFiles/adattl_experiment.dir/runner.cpp.o.d"
   "/root/repo/src/experiment/scenario_file.cpp" "src/experiment/CMakeFiles/adattl_experiment.dir/scenario_file.cpp.o" "gcc" "src/experiment/CMakeFiles/adattl_experiment.dir/scenario_file.cpp.o.d"

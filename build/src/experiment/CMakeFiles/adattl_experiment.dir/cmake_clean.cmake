@@ -5,8 +5,12 @@ file(REMOVE_RECURSE
   "CMakeFiles/adattl_experiment.dir/config.cpp.o.d"
   "CMakeFiles/adattl_experiment.dir/decision_log.cpp.o"
   "CMakeFiles/adattl_experiment.dir/decision_log.cpp.o.d"
+  "CMakeFiles/adattl_experiment.dir/env_config.cpp.o"
+  "CMakeFiles/adattl_experiment.dir/env_config.cpp.o.d"
   "CMakeFiles/adattl_experiment.dir/metrics.cpp.o"
   "CMakeFiles/adattl_experiment.dir/metrics.cpp.o.d"
+  "CMakeFiles/adattl_experiment.dir/parallel_executor.cpp.o"
+  "CMakeFiles/adattl_experiment.dir/parallel_executor.cpp.o.d"
   "CMakeFiles/adattl_experiment.dir/report.cpp.o"
   "CMakeFiles/adattl_experiment.dir/report.cpp.o.d"
   "CMakeFiles/adattl_experiment.dir/runner.cpp.o"

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_env_config.cpp" "tests/CMakeFiles/test_env_config.dir/test_env_config.cpp.o" "gcc" "tests/CMakeFiles/test_env_config.dir/test_env_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiment/CMakeFiles/adattl_experiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnswire/CMakeFiles/adattl_dnswire.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/adattl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnscache/CMakeFiles/adattl_dnscache.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/adattl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/adattl_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/adattl_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adattl_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

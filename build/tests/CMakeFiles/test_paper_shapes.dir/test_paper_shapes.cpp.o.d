@@ -293,7 +293,17 @@ tests/CMakeFiles/test_paper_shapes.dir/test_paper_shapes.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/experiment/runner.h /root/repo/src/experiment/site.h \
+ /root/repo/src/experiment/runner.h \
+ /root/repo/src/experiment/parallel_executor.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/experiment/site.h \
  /root/repo/src/core/alarm_registry.h /root/repo/src/sim/time.h \
  /root/repo/src/web/types.h /root/repo/src/core/load_estimator.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \

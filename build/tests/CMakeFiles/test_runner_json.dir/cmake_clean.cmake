@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runner_json.dir/test_runner_json.cpp.o"
+  "CMakeFiles/test_runner_json.dir/test_runner_json.cpp.o.d"
+  "test_runner_json"
+  "test_runner_json.pdb"
+  "test_runner_json[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runner_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

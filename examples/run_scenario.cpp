@@ -12,6 +12,7 @@
 
 #include "experiment/cli.h"
 #include "experiment/decision_log.h"
+#include "experiment/parallel_executor.h"
 #include "experiment/report.h"
 #include "experiment/runner.h"
 #include "experiment/trace.h"
@@ -64,8 +65,17 @@ int main(int argc, char** argv) {
     }
   }
 
-  const experiment::ReplicatedResult rep =
-      experiment::run_replications(opt.config, opt.replications);
+  // One sweep point (config × replications) through the parallel executor;
+  // replications fan across workers with output identical to --jobs=1.
+  experiment::ParallelExecutor executor(opt.jobs > 0 ? opt.jobs
+                                                     : experiment::default_jobs());
+  experiment::Sweep sweep;
+  sweep.add(opt.config, opt.replications, opt.config.policy);
+  experiment::SweepResult swept = sweep.run(executor);
+  std::fprintf(stderr, "%d replications in %.2f s wall (%.2f s of runs, %d jobs)\n",
+               opt.replications, swept.wall_seconds, swept.point_cpu_seconds.front(),
+               swept.jobs);
+  const experiment::ReplicatedResult rep = std::move(swept.points.front());
   const experiment::RunResult& first = rep.runs.front();
 
   if (opt.json) {

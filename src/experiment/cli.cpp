@@ -170,6 +170,9 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
     } else if (flag == "--replications") {
       opt.replications = static_cast<int>(parse_long(flag, require_value()));
       if (opt.replications < 1) throw std::invalid_argument("--replications: need >= 1");
+    } else if (flag == "--jobs") {
+      opt.jobs = static_cast<int>(parse_long(flag, require_value()));
+      if (opt.jobs < 1) throw std::invalid_argument("--jobs: need >= 1");
     } else if (flag == "--trace") {
       opt.trace_path = require_value();
     } else if (flag == "--decisions") {
@@ -222,6 +225,8 @@ std::string cli_usage() {
          "              --outage=START:DURATION:SERVER (repeatable silent stall)\n"
          "              --queue-alarm=PAGES (alarm on backlog, detects outages)\n"
          "  run:        --duration=SEC --warmup=SEC --seed=N --replications=R\n"
+         "              --jobs=J (parallel workers; default ADATTL_JOBS or all\n"
+         "              cores; 1 = serial; output is identical either way)\n"
          "  output:     --csv --json --cdf --trace=FILE.csv --decisions=FILE.csv\n";
 }
 

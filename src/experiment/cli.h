@@ -12,6 +12,9 @@ namespace adattl::experiment {
 struct CliOptions {
   SimulationConfig config;
   int replications = 1;
+  /// Worker threads for the replication sweep; 0 = the ADATTL_JOBS
+  /// environment default (hardware_concurrency if unset), 1 = serial.
+  int jobs = 0;
   bool csv = false;       ///< emit CSV instead of aligned tables
   bool json = false;      ///< emit one JSON object with the headline metrics
   bool show_cdf = false;  ///< print the full max-utilization CDF curve
@@ -43,6 +46,8 @@ struct CliOptions {
 ///   --estimator=ewma|window  estimator kind; --cold-start
 ///   --client-cache           enable per-client address caches
 ///   --duration=SEC --warmup=SEC --seed=N --replications=R
+///   --jobs=J                 parallel workers (default ADATTL_JOBS/auto;
+///                            1 = serial; results identical either way)
 ///   --csv --json --cdf --trace=FILE.csv
 ///   --shift=T:DOMAIN:FACTOR  scripted flash crowd (repeatable): at time T
 ///                            multiply DOMAIN's request rate by FACTOR

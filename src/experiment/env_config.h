@@ -1,0 +1,25 @@
+#pragma once
+
+// Strict parsing of the ADATTL_* environment knobs shared by the runner,
+// the parallel executor and the benches (ADATTL_REPLICATIONS,
+// ADATTL_DURATION_SEC, ADATTL_JOBS). Malformed values are rejected with a
+// warning on stderr and fall back to the default instead of silently
+// becoming 0 or a half-parsed prefix.
+
+namespace adattl::experiment {
+
+/// Strictly parses `text` as a decimal number. Fails (returns false) on
+/// null, empty, non-numeric, trailing junk ("12abc"), infinities and NaN.
+/// Leading whitespace is accepted, trailing whitespace is not.
+bool parse_env_number(const char* text, double& out);
+
+/// Reads environment variable `name`. Unset or empty: `fallback`.
+/// Malformed: warning on stderr, then `fallback`. Valid: the value
+/// clamped to [lo, hi].
+double env_double(const char* name, double fallback, double lo, double hi);
+
+/// Same for integral knobs; values with a fractional part count as
+/// malformed rather than being truncated.
+int env_int(const char* name, int fallback, int lo, int hi);
+
+}  // namespace adattl::experiment

@@ -1,9 +1,12 @@
 #include "experiment/runner.h"
 
-#include <algorithm>
+#include <chrono>
 #include <cstdio>
-#include <cstdlib>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
+
+#include "experiment/env_config.h"
 
 namespace adattl::experiment {
 
@@ -27,6 +30,7 @@ sim::MeanCi ReplicatedResult::address_request_rate() const {
 }
 
 std::vector<std::pair<double, double>> ReplicatedResult::mean_cdf_curve(int points) const {
+  if (points < 1) throw std::invalid_argument("mean_cdf_curve: points must be >= 1");
   std::vector<std::pair<double, double>> curve;
   curve.reserve(static_cast<std::size_t>(points) + 1);
   for (int i = 0; i <= points; ++i) {
@@ -38,17 +42,95 @@ std::vector<std::pair<double, double>> ReplicatedResult::mean_cdf_curve(int poin
   return curve;
 }
 
+std::size_t Sweep::add(SimulationConfig config, int replications, std::string label) {
+  if (replications < 1) throw std::invalid_argument("Sweep::add: need >= 1 replications");
+  points_.push_back(Point{std::move(config), replications, std::move(label)});
+  return points_.size() - 1;
+}
+
+std::size_t Sweep::add_policy(SimulationConfig base, const std::string& policy,
+                              int replications, std::string label) {
+  base.policy = policy;
+  return add(std::move(base), replications, label.empty() ? policy : std::move(label));
+}
+
+SweepResult Sweep::run(ParallelExecutor& executor, ProgressFn on_point_done) const {
+  using Clock = std::chrono::steady_clock;
+  const auto since = [](Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+
+  SweepResult out;
+  out.jobs = executor.jobs();
+  out.points.resize(points_.size());
+  out.point_cpu_seconds.assign(points_.size(), 0.0);
+
+  // Pre-size every point's run vector so each task owns exactly one slot:
+  // result placement is positional, never completion-ordered.
+  struct PointState {
+    std::size_t remaining = 0;
+    double cpu_seconds = 0.0;
+  };
+  std::vector<PointState> state(points_.size());
+  for (std::size_t p = 0; p < points_.size(); ++p) {
+    const std::size_t reps = static_cast<std::size_t>(points_[p].replications);
+    out.points[p].runs.resize(reps);
+    state[p].remaining = reps;
+  }
+
+  std::mutex mutex;  // guards state, completed count, and progress delivery
+  std::size_t completed = 0;
+  const auto start = Clock::now();
+
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t p = 0; p < points_.size(); ++p) {
+    for (int i = 0; i < points_[p].replications; ++i) {
+      tasks.push_back([this, &out, &state, &mutex, &completed, &on_point_done, &since,
+                       start, p, i] {
+        SimulationConfig config = points_[p].config;
+        config.seed = points_[p].config.seed + static_cast<std::uint64_t>(i);
+        const auto run_start = Clock::now();
+        Site site(config);
+        RunResult result = site.run();
+        const double run_seconds = since(run_start);
+        out.points[p].runs[static_cast<std::size_t>(i)] = std::move(result);
+
+        std::lock_guard<std::mutex> lock(mutex);
+        state[p].cpu_seconds += run_seconds;
+        if (--state[p].remaining == 0) {
+          out.point_cpu_seconds[p] = state[p].cpu_seconds;
+          ++completed;
+          if (on_point_done) {
+            SweepPointDone done;
+            done.index = p;
+            done.completed = completed;
+            done.total = points_.size();
+            done.label = points_[p].label;
+            done.cpu_seconds = state[p].cpu_seconds;
+            done.elapsed_seconds = since(start);
+            on_point_done(done);
+          }
+        }
+      });
+    }
+  }
+
+  executor.run(std::move(tasks));
+  out.wall_seconds = since(start);
+  return out;
+}
+
+SweepResult Sweep::run(ProgressFn on_point_done) const {
+  ParallelExecutor executor;  // sized by ADATTL_JOBS / hardware_concurrency
+  return run(executor, std::move(on_point_done));
+}
+
 ReplicatedResult run_replications(SimulationConfig config, int replications) {
   if (replications < 1) throw std::invalid_argument("run_replications: need >= 1");
-  ReplicatedResult out;
-  out.runs.reserve(static_cast<std::size_t>(replications));
-  const std::uint64_t base_seed = config.seed;
-  for (int i = 0; i < replications; ++i) {
-    config.seed = base_seed + static_cast<std::uint64_t>(i);
-    Site site(config);
-    out.runs.push_back(site.run());
-  }
-  return out;
+  Sweep sweep;
+  sweep.add(std::move(config), replications);
+  SweepResult result = sweep.run();
+  return std::move(result.points.front());
 }
 
 ReplicatedResult run_policy(SimulationConfig base, const std::string& policy, int replications) {
@@ -65,16 +147,33 @@ void append_kv(std::string& out, const char* key, double value, bool comma = tru
   if (comma) out += ",";
 }
 
+}  // namespace
+
 std::string json_escape(const std::string& s) {
   std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
+  out.reserve(s.size());
+  for (const char raw : s) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += raw;
+        }
+    }
   }
   return out;
 }
-
-}  // namespace
 
 std::string to_json(const SimulationConfig& config, const ReplicatedResult& result) {
   std::string out = "{";
@@ -107,33 +206,21 @@ std::string to_json(const SimulationConfig& config, const ReplicatedResult& resu
             result.ci([](const RunResult& r) { return r.mean_network_rtt_sec; }).mean);
 
   out += "\"mean_server_utilization\":[";
-  const RunResult& first = result.runs.front();
-  for (std::size_t s = 0; s < first.mean_server_util.size(); ++s) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.6g%s", first.mean_server_util[s],
-                  s + 1 < first.mean_server_util.size() ? "," : "");
-    out += buf;
+  if (!result.runs.empty()) {
+    const RunResult& first = result.runs.front();
+    for (std::size_t s = 0; s < first.mean_server_util.size(); ++s) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g%s", first.mean_server_util[s],
+                    s + 1 < first.mean_server_util.size() ? "," : "");
+      out += buf;
+    }
   }
   out += "]}";
   return out;
 }
 
-namespace {
-
-double env_double(const char* name, double fallback, double lo, double hi) {
-  const char* v = std::getenv(name);
-  if (!v || !*v) return fallback;
-  try {
-    return std::clamp(std::stod(v), lo, hi);
-  } catch (const std::exception&) {
-    return fallback;
-  }
-}
-
-}  // namespace
-
 int default_replications() {
-  return static_cast<int>(env_double("ADATTL_REPLICATIONS", 3, 1, 30));
+  return env_int("ADATTL_REPLICATIONS", 3, 1, 30);
 }
 
 double default_duration_sec() {

@@ -1,9 +1,11 @@
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "experiment/parallel_executor.h"
 #include "experiment/site.h"
 #include "sim/stats.h"
 
@@ -23,11 +25,77 @@ struct ReplicatedResult {
 
   /// Pointwise-averaged cumulative curve over the CDF bin boundaries:
   /// first = max-utilization boundary, second = mean P(maxUtil < boundary).
+  /// `points` must be >= 1; an empty `runs` yields an all-zero curve.
   std::vector<std::pair<double, double>> mean_cdf_curve(int points = 50) const;
 };
 
+/// Progress report delivered as each sweep point completes (all of its
+/// replications finished). Deliveries are serialized — at most one
+/// callback runs at a time, in point-completion order.
+struct SweepPointDone {
+  std::size_t index = 0;      ///< point index in add() order
+  std::size_t completed = 0;  ///< points completed so far, this one included
+  std::size_t total = 0;      ///< points in the sweep
+  std::string label;
+  double cpu_seconds = 0.0;      ///< summed wall-clock of the point's replications
+  double elapsed_seconds = 0.0;  ///< wall-clock since Sweep::run() started
+};
+
+/// What a Sweep::run() produced: one ReplicatedResult per point, in add()
+/// order — positionally identical to calling run_replications once per
+/// point in a serial loop — plus per-point and whole-sweep timing.
+struct SweepResult {
+  std::vector<ReplicatedResult> points;
+  /// Summed replication wall-clock per point (the serial-equivalent cost).
+  std::vector<double> point_cpu_seconds;
+  double wall_seconds = 0.0;
+  int jobs = 1;
+};
+
+/// A batch of independent simulation points (config × replications) that
+/// runs as one unit across a ParallelExecutor. Every replication of every
+/// point is an independent task, so a sweep of 8 points × 3 replications
+/// keeps 24-way parallelism available instead of 3-way.
+///
+/// Determinism guarantee: replication i of a point runs with seed
+/// `config.seed + i` — exactly the serial derivation — and results land in
+/// pre-assigned slots, so SweepResult is bit-identical whatever the worker
+/// count or scheduling order.
+class Sweep {
+ public:
+  using ProgressFn = std::function<void(const SweepPointDone&)>;
+
+  /// Queues `replications` runs of `config` (seeds config.seed + i).
+  /// Returns the point's index into SweepResult::points. Throws
+  /// std::invalid_argument for replications < 1.
+  std::size_t add(SimulationConfig config, int replications, std::string label = "");
+
+  /// add() with the policy overridden (the run_policy convenience); the
+  /// label defaults to the policy name.
+  std::size_t add_policy(SimulationConfig base, const std::string& policy,
+                         int replications, std::string label = "");
+
+  std::size_t size() const { return points_.size(); }
+
+  /// Fans all queued replications across `executor`. The progress callback
+  /// (optional) fires once per completed point, serialized.
+  SweepResult run(ParallelExecutor& executor, ProgressFn on_point_done = nullptr) const;
+
+  /// run() on a fresh executor sized by ADATTL_JOBS (1 = legacy serial).
+  SweepResult run(ProgressFn on_point_done = nullptr) const;
+
+ private:
+  struct Point {
+    SimulationConfig config;
+    int replications = 0;
+    std::string label;
+  };
+  std::vector<Point> points_;
+};
+
 /// Runs `replications` independent runs of `config` with seeds derived
-/// from config.seed (seed, seed+1, ...).
+/// from config.seed (seed, seed+1, ...). Honors ADATTL_JOBS: replications
+/// run in parallel, with output bit-identical to the serial path.
 ReplicatedResult run_replications(SimulationConfig config, int replications);
 
 /// Convenience used all over the benches: run one policy (by name) with a
@@ -39,6 +107,10 @@ ReplicatedResult run_policy(SimulationConfig base, const std::string& policy, in
 /// control, response times, per-server utilizations). For dashboards and
 /// scripted sweeps; the schema is flat and stable.
 std::string to_json(const SimulationConfig& config, const ReplicatedResult& result);
+
+/// JSON string escaping as used by to_json: quotes, backslashes and all
+/// control characters (RFC 8259). Exposed for tests and tooling.
+std::string json_escape(const std::string& s);
 
 /// Number of replications the figure benches use. Default 3; override via
 /// environment variable ADATTL_REPLICATIONS (clamped to [1, 30]).

@@ -157,6 +157,7 @@ RunResult Site::run() {
   sim_.run_until(horizon);
 
   RunResult r;
+  r.seed = config_.seed;
   r.max_util_cdf = tracker_->cdf();
   r.prob_below_090 = tracker_->prob_below(0.90);
   r.prob_below_098 = tracker_->prob_below(0.98);

@@ -1,0 +1,111 @@
+// The shared ADATTL_* environment-knob parser: strict number validation
+// (garbage falls back to the default instead of silently becoming 0),
+// clamping, and the knobs built on top of it (ADATTL_REPLICATIONS,
+// ADATTL_DURATION_SEC, ADATTL_JOBS).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "experiment/env_config.h"
+#include "experiment/parallel_executor.h"
+#include "experiment/runner.h"
+
+using namespace adattl;
+
+namespace {
+
+// setenv/unsetenv scoped helper so tests can't leak state into each other.
+class EnvVar {
+ public:
+  explicit EnvVar(const char* name) : name_(name) { unsetenv(name_); }
+  ~EnvVar() { unsetenv(name_); }
+  void set(const char* value) { setenv(name_, value, 1); }
+
+ private:
+  const char* name_;
+};
+
+TEST(EnvConfig, ParseEnvNumberAcceptsPlainNumbers) {
+  double v = -1;
+  EXPECT_TRUE(experiment::parse_env_number("12", v));
+  EXPECT_EQ(v, 12.0);
+  EXPECT_TRUE(experiment::parse_env_number("3.5", v));
+  EXPECT_EQ(v, 3.5);
+  EXPECT_TRUE(experiment::parse_env_number("1e3", v));
+  EXPECT_EQ(v, 1000.0);
+  EXPECT_TRUE(experiment::parse_env_number("-7", v));
+  EXPECT_EQ(v, -7.0);
+}
+
+TEST(EnvConfig, ParseEnvNumberRejectsGarbage) {
+  double v = 0;
+  EXPECT_FALSE(experiment::parse_env_number(nullptr, v));
+  EXPECT_FALSE(experiment::parse_env_number("", v));
+  EXPECT_FALSE(experiment::parse_env_number("abc", v));
+  EXPECT_FALSE(experiment::parse_env_number("12abc", v));  // trailing junk
+  EXPECT_FALSE(experiment::parse_env_number("12 ", v));
+  EXPECT_FALSE(experiment::parse_env_number("nan", v));
+  EXPECT_FALSE(experiment::parse_env_number("inf", v));
+}
+
+TEST(EnvConfig, EnvDoubleFallsBackAndClamps) {
+  EnvVar var("ADATTL_TEST_KNOB");
+  EXPECT_EQ(experiment::env_double("ADATTL_TEST_KNOB", 5.0, 0.0, 10.0), 5.0);  // unset
+  var.set("7.5");
+  EXPECT_EQ(experiment::env_double("ADATTL_TEST_KNOB", 5.0, 0.0, 10.0), 7.5);
+  var.set("99");
+  EXPECT_EQ(experiment::env_double("ADATTL_TEST_KNOB", 5.0, 0.0, 10.0), 10.0);  // clamped
+  var.set("-4");
+  EXPECT_EQ(experiment::env_double("ADATTL_TEST_KNOB", 5.0, 0.0, 10.0), 0.0);
+  var.set("garbage");
+  EXPECT_EQ(experiment::env_double("ADATTL_TEST_KNOB", 5.0, 0.0, 10.0), 5.0);  // rejected
+  var.set("");
+  EXPECT_EQ(experiment::env_double("ADATTL_TEST_KNOB", 5.0, 0.0, 10.0), 5.0);
+}
+
+TEST(EnvConfig, EnvIntRejectsFractionsAndGarbage) {
+  EnvVar var("ADATTL_TEST_KNOB");
+  var.set("7");
+  EXPECT_EQ(experiment::env_int("ADATTL_TEST_KNOB", 3, 1, 30), 7);
+  var.set("3.5");
+  EXPECT_EQ(experiment::env_int("ADATTL_TEST_KNOB", 3, 1, 30), 3);  // not an integer
+  var.set("0junk");
+  EXPECT_EQ(experiment::env_int("ADATTL_TEST_KNOB", 3, 1, 30), 3);  // NOT silently 0
+  var.set("100");
+  EXPECT_EQ(experiment::env_int("ADATTL_TEST_KNOB", 3, 1, 30), 30);  // clamped
+}
+
+TEST(EnvConfig, DefaultReplicationsKnob) {
+  EnvVar var("ADATTL_REPLICATIONS");
+  EXPECT_EQ(experiment::default_replications(), 3);  // unset: the paper's 3
+  var.set("10");
+  EXPECT_EQ(experiment::default_replications(), 10);
+  var.set("1000");
+  EXPECT_EQ(experiment::default_replications(), 30);  // clamped to [1, 30]
+  var.set("junk");
+  EXPECT_EQ(experiment::default_replications(), 3);
+}
+
+TEST(EnvConfig, DefaultDurationKnob) {
+  EnvVar var("ADATTL_DURATION_SEC");
+  EXPECT_EQ(experiment::default_duration_sec(), 18000.0);  // the paper's 5 h
+  var.set("600");
+  EXPECT_EQ(experiment::default_duration_sec(), 600.0);
+  var.set("1");
+  EXPECT_EQ(experiment::default_duration_sec(), 600.0);  // clamped up
+  var.set("5 hours");
+  EXPECT_EQ(experiment::default_duration_sec(), 18000.0);  // rejected
+}
+
+TEST(EnvConfig, DefaultJobsKnob) {
+  EnvVar var("ADATTL_JOBS");
+  EXPECT_GE(experiment::default_jobs(), 1);  // unset: hardware_concurrency
+  var.set("3");
+  EXPECT_EQ(experiment::default_jobs(), 3);
+  var.set("0");
+  EXPECT_EQ(experiment::default_jobs(), 1);  // clamped to >= 1
+  var.set("junk");
+  EXPECT_GE(experiment::default_jobs(), 1);  // rejected, falls back
+}
+
+}  // namespace
