@@ -2,6 +2,8 @@
 // hot path of every simulation (two heap ops per page request).
 #include <benchmark/benchmark.h>
 
+#include <functional>
+
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "sim/simulator.h"

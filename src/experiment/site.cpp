@@ -9,6 +9,11 @@ Site::Site(const SimulationConfig& config)
     : config_(config), rng_(config.seed) {
   config_.validate();
 
+  // Steady state holds roughly one in-flight event per client (think timer
+  // or service leg) plus TTL expiries and the monitor tick; pre-sizing the
+  // kernel keeps the whole run allocation-free inside the event loop.
+  sim_.reserve(2 * static_cast<std::size_t>(config_.total_clients) + 64);
+
   // ---- Workload population ----
   const workload::DomainSet base =
       config_.uniform_clients
@@ -28,9 +33,9 @@ Site::Site(const SimulationConfig& config)
   // Scripted flash crowds fire as simulator events; the DNS only learns of
   // them through the estimator (if enabled).
   for (const workload::RateShift& shift : config_.rate_shifts) {
-    sim_.at(shift.at_sec, [this, shift] {
-      think_model_->scale_rate(shift.domain, shift.rate_factor);
-    });
+    sim_.at(shift.at_sec, sim::assert_inline([this, shift] {
+              think_model_->scale_rate(shift.domain, shift.rate_factor);
+            }));
   }
 
   // ---- Servers ----
@@ -45,10 +50,13 @@ Site::Site(const SimulationConfig& config)
 
   // Failure injection: silent stalls and recoveries.
   for (const ServerOutage& outage : config_.outages) {
-    sim_.at(outage.start_sec,
-            [this, s = outage.server] { cluster_->server(s).set_paused(true); });
+    sim_.at(outage.start_sec, sim::assert_inline([this, s = outage.server] {
+              cluster_->server(s).set_paused(true);
+            }));
     sim_.at(outage.start_sec + outage.duration_sec,
-            [this, s = outage.server] { cluster_->server(s).set_paused(false); });
+            sim::assert_inline([this, s = outage.server] {
+              cluster_->server(s).set_paused(false);
+            }));
   }
 
   // ---- Server-side dispatch (direct, or redirecting second level) ----

@@ -1,87 +1,135 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace adattl::sim {
 
+namespace {
+
+// 4-ary heap indexing. Four children of a 24-byte entry span 96 bytes —
+// at most two cache lines per sift level, versus three levels' worth of
+// scattered lines for a binary heap of the same size.
+constexpr std::size_t kArity = 4;
+
+constexpr std::size_t parent_of(std::size_t i) { return (i - 1) / kArity; }
+constexpr std::size_t first_child_of(std::size_t i) { return kArity * i + 1; }
+
+}  // namespace
+
+void EventQueue::reserve(std::size_t n) {
+  heap_.reserve(n);
+  slots_.reserve(n);
+  free_slots_.reserve(n);
+}
+
+std::uint32_t EventQueue::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t s = free_slots_.back();
+    free_slots_.pop_back();
+    return s;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.cb.reset();
+  s.heap_pos = kFreePos;
+  if (++s.gen == 0) s.gen = 1;  // generation 0 is reserved for "never valid"
+  free_slots_.push_back(slot);
+}
+
 EventHandle EventQueue::schedule(SimTime at, Callback cb) {
   assert(cb && "cannot schedule an empty callback");
-  const std::uint64_t seq = next_seq_++;
-  heap_.push_back(Entry{at, seq, std::move(cb)});
-  slot_of_.resize(next_seq_, kNoSlot);
-  slot_of_[seq] = heap_.size() - 1;
-  ++live_;
-  sift_up(heap_.size() - 1);
-  return EventHandle{seq};
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.cb = std::move(cb);
+  const HeapItem item{at, next_seq_++, slot};
+  heap_.push_back(item);
+  sift_up_hole(heap_.size() - 1, item);
+  return EventHandle{(static_cast<std::uint64_t>(slot) << 32) | s.gen};
 }
 
 bool EventQueue::cancel(EventHandle h) {
-  if (h.id == 0 || h.id >= slot_of_.size()) return false;
-  const std::size_t slot = slot_of_[h.id];
-  if (slot == kNoSlot) return false;
-  heap_[slot].cb = nullptr;  // lazy removal; heap order keys are untouched
-  slot_of_[h.id] = kNoSlot;
-  --live_;
+  if (h.id == 0) return false;
+  const auto slot = static_cast<std::uint32_t>(h.id >> 32);
+  const auto gen = static_cast<std::uint32_t>(h.id);
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  // A released slot bumped its generation, so a stale handle mismatches
+  // even after the slot was recycled for a newer event.
+  if (s.gen != gen || s.heap_pos == kFreePos) return false;
+  const std::size_t pos = s.heap_pos;
+  release_slot(slot);
+  remove_at(pos);
   return true;
 }
 
-SimTime EventQueue::next_time() {
-  drop_dead_top();
+SimTime EventQueue::next_time() const {
   assert(!heap_.empty());
   return heap_.front().time;
 }
 
 std::pair<SimTime, EventQueue::Callback> EventQueue::pop() {
-  drop_dead_top();
   assert(!heap_.empty());
-  Entry top = std::move(heap_.front());
-  slot_of_[top.seq] = kNoSlot;
-  --live_;
-  heap_.front() = std::move(heap_.back());
-  heap_.pop_back();
-  if (!heap_.empty()) {
-    if (heap_.front().cb) slot_of_[heap_.front().seq] = 0;
-    sift_down(0);
-  }
-  return {top.time, std::move(top.cb)};
+  const HeapItem top = heap_.front();
+  Callback cb = std::move(slots_[top.slot].cb);
+  release_slot(top.slot);
+  remove_at(0);
+  return {top.time, std::move(cb)};
 }
 
-void EventQueue::drop_dead_top() {
-  while (!heap_.empty() && !heap_.front().cb) {
-    heap_.front() = std::move(heap_.back());
+void EventQueue::remove_at(std::size_t pos) {
+  const std::size_t last = heap_.size() - 1;
+  if (pos == last) {
     heap_.pop_back();
-    if (!heap_.empty()) {
-      if (heap_.front().cb) slot_of_[heap_.front().seq] = 0;
-      sift_down(0);
-    }
+    return;
+  }
+  const HeapItem item = heap_[last];
+  heap_.pop_back();
+  // Re-insert the displaced tail entry at the hole; it may need to travel
+  // either direction when the hole came from a cancel mid-heap.
+  if (pos > 0 && later(heap_[parent_of(pos)], item)) {
+    sift_up_hole(pos, item);
+  } else {
+    sift_down_hole(pos, item);
   }
 }
 
-void EventQueue::sift_up(std::size_t i) {
-  while (i > 0) {
-    const std::size_t parent = (i - 1) / 2;
-    if (!later(heap_[parent], heap_[i])) break;
-    std::swap(heap_[parent], heap_[i]);
-    if (heap_[parent].cb) slot_of_[heap_[parent].seq] = parent;
-    if (heap_[i].cb) slot_of_[heap_[i].seq] = i;
-    i = parent;
+void EventQueue::sift_up_hole(std::size_t hole, const HeapItem& item) {
+  // Hole insertion: shift ancestors down one move each until `item` fits,
+  // then write it once — no three-move swaps, no slot updates for `item`
+  // until its final position is known.
+  while (hole > 0) {
+    const std::size_t parent = parent_of(hole);
+    if (!later(heap_[parent], item)) break;
+    heap_[hole] = heap_[parent];
+    slots_[heap_[hole].slot].heap_pos = static_cast<std::uint32_t>(hole);
+    hole = parent;
   }
+  heap_[hole] = item;
+  slots_[item.slot].heap_pos = static_cast<std::uint32_t>(hole);
 }
 
-void EventQueue::sift_down(std::size_t i) {
+void EventQueue::sift_down_hole(std::size_t hole, const HeapItem& item) {
   const std::size_t n = heap_.size();
   for (;;) {
-    std::size_t smallest = i;
-    const std::size_t l = 2 * i + 1;
-    const std::size_t r = 2 * i + 2;
-    if (l < n && later(heap_[smallest], heap_[l])) smallest = l;
-    if (r < n && later(heap_[smallest], heap_[r])) smallest = r;
-    if (smallest == i) return;
-    std::swap(heap_[smallest], heap_[i]);
-    if (heap_[smallest].cb) slot_of_[heap_[smallest].seq] = smallest;
-    if (heap_[i].cb) slot_of_[heap_[i].seq] = i;
-    i = smallest;
+    const std::size_t first = first_child_of(hole);
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t end = std::min(first + kArity, n);
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (later(heap_[best], heap_[c])) best = c;
+    }
+    if (!later(item, heap_[best])) break;
+    heap_[hole] = heap_[best];
+    slots_[heap_[hole].slot].heap_pos = static_cast<std::uint32_t>(hole);
+    hole = best;
   }
+  heap_[hole] = item;
+  slots_[item.slot].heap_pos = static_cast<std::uint32_t>(hole);
 }
 
 }  // namespace adattl::sim

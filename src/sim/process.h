@@ -69,10 +69,10 @@ class DelayAwaiter {
       bool fired = false;
     };
     auto token = std::make_shared<Token>(h);
-    sim_.after(delay_, [token] {
-      token->fired = true;
-      token->handle.resume();
-    });
+    sim_.after(delay_, assert_inline([token] {
+                 token->fired = true;
+                 token->handle.resume();
+               }));
   }
 
   void await_resume() const noexcept {}

@@ -31,8 +31,14 @@ class Simulator {
   }
 
   /// Schedules `cb` to run `delay` seconds from now; negative delays throw.
+  ///
+  /// This is the kernel's dominant scheduling pattern (think times, service
+  /// completions, RTT legs), so it validates the delay sign directly:
+  /// `now_ + delay >= now_` holds for any delay >= 0 under IEEE rounding,
+  /// which skips the redundant absolute past-time comparison in at().
   EventHandle after(SimTime delay, EventQueue::Callback cb) {
-    return at(now_ + delay, std::move(cb));
+    if (delay < 0.0) throw std::invalid_argument("Simulator::after: negative delay");
+    return queue_.schedule(now_ + delay, std::move(cb));
   }
 
   /// Cancels a pending event; returns true if it was still pending.
@@ -51,6 +57,10 @@ class Simulator {
 
   /// Live events still pending.
   std::size_t pending() const { return queue_.size(); }
+
+  /// Pre-sizes the event queue for `n` concurrent events (see
+  /// EventQueue::reserve).
+  void reserve(std::size_t n) { queue_.reserve(n); }
 
  private:
   EventQueue queue_;

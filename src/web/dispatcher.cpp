@@ -46,10 +46,12 @@ void RedirectingDispatcher::dispatch(ServerId target, PageRequest request) {
       ++redirects_;
       // One extra hop; never redirected again (the alternative queues it
       // whatever its state — no ping-pong).
+      // Largest capture the kernel schedules: this + ServerId + PageRequest.
+      // InlineCallback::kInlineSize is sized for it; the assert keeps it so.
       sim_.after(redirect_delay_sec_,
-                 [this, alternative, req = std::move(request)]() mutable {
+                 sim::assert_inline([this, alternative, req = std::move(request)]() mutable {
                    cluster_.server(alternative).submit_page(std::move(req));
-                 });
+                 }));
       return;
     }
   }

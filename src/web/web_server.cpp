@@ -44,7 +44,7 @@ void WebServer::start_next() {
   const int h = current_.req.hits;
   const double service = rng_.erlang(h, static_cast<double>(h) / capacity_);
   service_end_ = service_start_ + service;
-  sim_.at(service_end_, [this] { finish_current(); });
+  sim_.at(service_end_, sim::assert_inline([this] { finish_current(); }));
 }
 
 void WebServer::finish_current() {

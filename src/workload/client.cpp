@@ -77,7 +77,7 @@ Client::Client(sim::Simulator& sim, dnscache::Resolver& ns, web::PageDispatcher&
 }
 
 void Client::start(double initial_delay) {
-  sim_.after(initial_delay, [this] { begin_session(); });
+  sim_.after(initial_delay, sim::assert_inline([this] { begin_session(); }));
 }
 
 void Client::begin_session() {
@@ -91,23 +91,24 @@ void Client::request_page() {
   ++pages_;
   --pages_left_;
   const int hits = profile_.sample_hits(rng_);
-  const double rtt = geo_ ? geo_->rtt(ns_.domain(), mapped_server_) : 0.0;
-  auto deliver = [this, hits] {
+  // One geo lookup per page: the mapping cannot change between the request
+  // and reply legs, so on_server_complete() reuses the cached value.
+  page_rtt_ = geo_ ? geo_->rtt(ns_.domain(), mapped_server_) : 0.0;
+  auto deliver = sim::assert_inline([this, hits] {
     dispatcher_.dispatch(mapped_server_,
                          web::PageRequest{ns_.domain(), hits, [this] { on_server_complete(); }});
-  };
-  if (rtt > 0.0) {
-    network_time_ += rtt;
-    sim_.after(rtt / 2.0, deliver);  // request flies to the server...
+  });
+  if (page_rtt_ > 0.0) {
+    network_time_ += page_rtt_;
+    sim_.after(page_rtt_ / 2.0, std::move(deliver));  // request flies to the server...
   } else {
     deliver();
   }
 }
 
 void Client::on_server_complete() {
-  const double rtt = geo_ ? geo_->rtt(ns_.domain(), mapped_server_) : 0.0;
-  if (rtt > 0.0) {
-    sim_.after(rtt / 2.0, [this] { on_page_complete(); });  // ...and back
+  if (page_rtt_ > 0.0) {
+    sim_.after(page_rtt_ / 2.0, sim::assert_inline([this] { on_page_complete(); }));  // ...and back
   } else {
     on_page_complete();
   }
@@ -116,9 +117,9 @@ void Client::on_server_complete() {
 void Client::on_page_complete() {
   const double think = think_.sample(ns_.domain(), rng_);
   if (pages_left_ > 0) {
-    sim_.after(think, [this] { request_page(); });
+    sim_.after(think, sim::assert_inline([this] { request_page(); }));
   } else {
-    sim_.after(think, [this] { begin_session(); });
+    sim_.after(think, sim::assert_inline([this] { begin_session(); }));
   }
 }
 

@@ -88,6 +88,9 @@ class Client {
   sim::RngStream rng_;
   const geo::GeoModel* geo_;
   double network_time_ = 0.0;
+  /// RTT of the page in flight, looked up once per page (request leg) and
+  /// reused for the reply leg — the mapping is fixed for the page's lifetime.
+  double page_rtt_ = 0.0;
 
   web::ServerId mapped_server_ = -1;
   int pages_left_ = 0;

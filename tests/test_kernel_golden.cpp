@@ -1,0 +1,63 @@
+// Golden-value determinism regression for the event kernel.
+//
+// The kernel rewrite contract (ISSUE 2) is bit-identical dispatch: for a
+// fixed seed and policy, RunResult must not change when the queue's
+// internals change (binary swap-heap -> 4-ary hole-sift indexed heap,
+// std::function -> InlineCallback, unbounded slot map -> recycled slot
+// table). These constants were captured from the pre-rewrite kernel
+// (commit fc21bd6) and pin one RR and one DRR2 run; any future kernel
+// optimization must keep reproducing them exactly.
+#include <gtest/gtest.h>
+
+#include "experiment/site.h"
+
+namespace adattl::experiment {
+namespace {
+
+SimulationConfig golden_config(const char* policy) {
+  SimulationConfig cfg;
+  cfg.policy = policy;
+  cfg.warmup_sec = 60.0;
+  cfg.duration_sec = 600.0;
+  cfg.seed = 20260806;
+  return cfg;
+}
+
+TEST(KernelGolden, RoundRobinRunIsBitIdenticalToPreRewriteKernel) {
+  Site site(golden_config("RR"));
+  const RunResult r = site.run();
+  EXPECT_EQ(r.events_dispatched, 40430u);
+  EXPECT_EQ(r.total_pages, 20194u);
+  EXPECT_EQ(r.total_hits, 201262u);
+  EXPECT_EQ(r.authoritative_queries, 60u);
+  EXPECT_EQ(r.ns_cache_hits, 1399u);
+  EXPECT_EQ(r.alarm_signals, 41u);
+  EXPECT_DOUBLE_EQ(r.mean_max_utilization, 0.96467028188235426);
+  EXPECT_DOUBLE_EQ(r.prob_below_090, 0.16);
+  EXPECT_DOUBLE_EQ(r.prob_below_098, 0.28000000000000003);
+  EXPECT_DOUBLE_EQ(r.mean_page_response_sec, 1.537996095555235);
+  EXPECT_DOUBLE_EQ(r.response_p95_sec, 8.6500000000000004);
+  EXPECT_DOUBLE_EQ(r.mean_ttl, 240.0);
+  EXPECT_DOUBLE_EQ(r.aggregate_utilization, 0.6113549537858185);
+}
+
+TEST(KernelGolden, Drr2RunIsBitIdenticalToPreRewriteKernel) {
+  Site site(golden_config("DRR2-TTL/S_K"));
+  const RunResult r = site.run();
+  EXPECT_EQ(r.events_dispatched, 42450u);
+  EXPECT_EQ(r.total_pages, 21189u);
+  EXPECT_EQ(r.total_hits, 211356u);
+  EXPECT_EQ(r.authoritative_queries, 61u);
+  EXPECT_EQ(r.ns_cache_hits, 1441u);
+  EXPECT_EQ(r.alarm_signals, 32u);
+  EXPECT_DOUBLE_EQ(r.mean_max_utilization, 0.89479290988804616);
+  EXPECT_DOUBLE_EQ(r.prob_below_090, 0.49333333333333335);
+  EXPECT_DOUBLE_EQ(r.prob_below_098, 0.62666666666666671);
+  EXPECT_DOUBLE_EQ(r.mean_page_response_sec, 0.73960554196617245);
+  EXPECT_DOUBLE_EQ(r.response_p95_sec, 3.96);
+  EXPECT_DOUBLE_EQ(r.mean_ttl, 273.75661673964083);
+  EXPECT_DOUBLE_EQ(r.aggregate_utilization, 0.6435553950469981);
+}
+
+}  // namespace
+}  // namespace adattl::experiment

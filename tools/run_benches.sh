@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Runs the event-kernel micro/macro benchmarks and distills a compact
+# BENCH_kernel.json perf baseline (items/sec per benchmark) for trajectory
+# tracking across PRs.
+#
+# Usage: tools/run_benches.sh [build-dir] [output-json]
+#   build-dir    defaults to ./build (must already be built)
+#   output-json  defaults to ./BENCH_kernel.json
+#
+# The full google-benchmark JSON dumps are kept next to the output as
+# BENCH_kernel.raw.<target>.json for anyone who wants the details.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_kernel.json}"
+FILTER='BM_SchedulePop|BM_SteadyStateChurn|BM_CancelHeavy|BM_FullSite'
+
+for target in micro_event_queue micro_simulation; do
+  bin="${BUILD_DIR}/bench/${target}"
+  if [[ ! -x "${bin}" ]]; then
+    echo "error: ${bin} not built (cmake --build ${BUILD_DIR} --target ${target})" >&2
+    exit 1
+  fi
+  echo "running ${bin} ..." >&2
+  "${bin}" --benchmark_filter="${FILTER}" \
+           --benchmark_format=json \
+           --benchmark_out="${OUT%.json}.raw.${target}.json" \
+           --benchmark_out_format=json > /dev/null
+done
+
+python3 - "${OUT}" "${OUT%.json}.raw.micro_event_queue.json" \
+                   "${OUT%.json}.raw.micro_simulation.json" <<'PY'
+import json, sys
+
+out_path, *raw_paths = sys.argv[1:]
+distilled = {}
+context = {}
+for path in raw_paths:
+    with open(path) as f:
+        dump = json.load(f)
+    ctx = dump.get("context", {})
+    context.setdefault("date", ctx.get("date"))
+    context.setdefault("host_name", ctx.get("host_name"))
+    context.setdefault("num_cpus", ctx.get("num_cpus"))
+    context.setdefault("build_type", ctx.get("library_build_type"))
+    for b in dump.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        entry = {"real_time_ns": b.get("real_time")}
+        if "items_per_second" in b:
+            entry["items_per_second"] = b["items_per_second"]
+        distilled[b["name"]] = entry
+
+with open(out_path, "w") as f:
+    json.dump({"context": context, "benchmarks": distilled}, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path} ({len(distilled)} benchmarks)")
+PY
