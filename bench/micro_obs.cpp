@@ -1,0 +1,88 @@
+// Observability overhead: the cost of a bound metric update and a tracer
+// record in isolation, and the end-to-end delta of running a full site
+// with tracing/metrics enabled vs disabled. The disabled-path delta is
+// the number the <3% kernel-bench regression budget watches.
+#include <benchmark/benchmark.h>
+
+#include "experiment/site.h"
+#include "obs/event_tracer.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using namespace adattl;
+
+void BM_CounterInc(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Counter c = registry.counter("bench.counter");
+  for (auto _ : state) {
+    c.inc();
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterInc);
+
+void BM_CounterIncUnbound(benchmark::State& state) {
+  // Scratch-cell path: what every instrumented component pays when the
+  // registry is disabled.
+  obs::Counter c;
+  for (auto _ : state) {
+    c.inc();
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterIncUnbound);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::HistogramHandle h = registry.histogram("bench.hist", 3600.0, 144);
+  double x = 0.0;
+  for (auto _ : state) {
+    h.observe(x);
+    x += 37.0;
+    if (x > 4000.0) x = 0.0;
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramObserve);
+
+void BM_TracerRecord(benchmark::State& state) {
+  obs::EventTracer tracer(1 << 16);
+  double t = 0.0;
+  for (auto _ : state) {
+    tracer.record(t, obs::TraceKind::kDecision, 3, 2, 240.0);
+    t += 0.25;
+    benchmark::DoNotOptimize(tracer);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TracerRecord);
+
+// Full-site run with observability off vs on: the end-to-end cost of the
+// whole layer. "off" must track BM_FullSite in BENCH_kernel.json; the
+// on/off ratio is what tools/run_benches.sh distills into BENCH_obs.json.
+void BM_FullSiteObs(benchmark::State& state, bool metrics, bool trace) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    experiment::SimulationConfig cfg;
+    cfg.cluster = web::table2_cluster(35);
+    cfg.policy = "DRR2-TTL/S_K";
+    cfg.warmup_sec = 60.0;
+    cfg.duration_sec = 540.0;
+    cfg.seed = 1000 + static_cast<std::uint64_t>(state.iterations());
+    cfg.metrics_enabled = metrics;
+    cfg.trace_enabled = trace;
+    experiment::Site site(cfg);
+    const experiment::RunResult r = site.run();
+    events += r.events_dispatched;
+    benchmark::DoNotOptimize(r.prob_below_098);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK_CAPTURE(BM_FullSiteObs, disabled, false, false)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FullSiteObs, enabled, true, true)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -16,6 +16,7 @@
 #include "experiment/report.h"
 #include "experiment/runner.h"
 #include "experiment/trace.h"
+#include "obs/event_tracer.h"
 
 using namespace adattl;
 
@@ -36,7 +37,8 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  if (!opt.trace_path.empty() || !opt.decisions_path.empty()) {
+  if (!opt.trace_path.empty() || !opt.decisions_path.empty() ||
+      !opt.chrome_trace_path.empty()) {
     // A dedicated instrumented run (same seed as replication 0) so the CSV
     // artifacts match the first replication's statistics.
     experiment::Site traced(opt.config);
@@ -45,6 +47,14 @@ int main(int argc, char** argv) {
     if (!opt.trace_path.empty()) recorder.attach(traced.monitor());
     if (!opt.decisions_path.empty()) decisions.attach(traced.simulator(), traced.scheduler());
     traced.run();
+    if (!opt.chrome_trace_path.empty()) {
+      obs::EventTracer* tracer = traced.event_tracer();
+      obs::EventTracer::write_file(opt.chrome_trace_path, tracer->to_chrome_json());
+      std::fprintf(stderr, "wrote %llu trace events (%llu dropped) to %s\n",
+                   static_cast<unsigned long long>(tracer->total_recorded() - tracer->dropped()),
+                   static_cast<unsigned long long>(tracer->dropped()),
+                   opt.chrome_trace_path.c_str());
+    }
     if (!opt.trace_path.empty()) {
       recorder.write_csv(opt.trace_path);
       std::fprintf(stderr, "wrote %zu trace samples to %s\n", recorder.samples().size(),

@@ -21,7 +21,16 @@ void AlarmRegistry::observe(sim::SimTime now, const std::vector<double>& utiliza
   observe_full(now, utilizations, {});
 }
 
-void AlarmRegistry::observe_full(sim::SimTime /*now*/, const std::vector<double>& utilizations,
+void AlarmRegistry::bind_observability(obs::MetricsRegistry* registry,
+                                       obs::EventTracer* tracer) {
+  tracer_ = tracer;
+  if (registry) {
+    obs_alarms_ = registry->counter("alarms.alarm_signals");
+    obs_normals_ = registry->counter("alarms.normal_signals");
+  }
+}
+
+void AlarmRegistry::observe_full(sim::SimTime now, const std::vector<double>& utilizations,
                                  const std::vector<std::size_t>& queue_lengths) {
   if (!enabled_) return;
   if (utilizations.size() != alarmed_.size()) {
@@ -38,10 +47,20 @@ void AlarmRegistry::observe_full(sim::SimTime /*now*/, const std::vector<double>
     if (over && !alarmed_[i]) {
       alarmed_[i] = true;
       ++alarm_signals_;
+      obs_alarms_.inc();
+      if (tracer_) {
+        tracer_->record(now, obs::TraceKind::kAlarm, static_cast<std::int32_t>(i), 0,
+                        utilizations[i]);
+      }
       changed = true;
     } else if (!over && alarmed_[i]) {
       alarmed_[i] = false;
       ++normal_signals_;
+      obs_normals_.inc();
+      if (tracer_) {
+        tracer_->record(now, obs::TraceKind::kNormal, static_cast<std::int32_t>(i), 0,
+                        utilizations[i]);
+      }
       changed = true;
     }
   }

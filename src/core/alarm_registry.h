@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/event_tracer.h"
+#include "obs/metrics.h"
 #include "sim/time.h"
 #include "web/types.h"
 
@@ -48,6 +50,10 @@ class AlarmRegistry {
   std::uint64_t alarm_signals() const { return alarm_signals_; }
   std::uint64_t normal_signals() const { return normal_signals_; }
 
+  /// Registers signal counters on `registry` and wires alarm-flip trace
+  /// records onto `tracer` (either may be null).
+  void bind_observability(obs::MetricsRegistry* registry, obs::EventTracer* tracer);
+
  private:
   void rebuild_eligible();
 
@@ -58,6 +64,9 @@ class AlarmRegistry {
   std::vector<bool> eligible_;
   std::uint64_t alarm_signals_ = 0;
   std::uint64_t normal_signals_ = 0;
+  obs::Counter obs_alarms_;
+  obs::Counter obs_normals_;
+  obs::EventTracer* tracer_ = nullptr;
 };
 
 }  // namespace adattl::core

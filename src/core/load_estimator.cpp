@@ -16,16 +16,22 @@ void LoadEstimator::observe(const std::vector<std::uint64_t>& hits_per_domain,
   if (window_sec <= 0) throw std::invalid_argument("LoadEstimator: bad window");
 
   std::vector<double> rates(hits_per_domain.size());
-  bool any = false;
   for (std::size_t d = 0; d < rates.size(); ++d) {
     rates[d] = static_cast<double>(hits_per_domain[d]) / window_sec;
-    any = any || rates[d] > 0.0;
   }
   ++windows_;
-  if (!any) return;  // empty window: keep the previous weights
 
+  // Empty (all-zero) windows are real observations: a traffic lull must
+  // decay the running estimate, or an idle domain's stale weight would be
+  // frozen forever. They therefore flow into incorporate() like any other
+  // window; only the *install* is guarded, because a weight vector with no
+  // positive entry carries no ranking information (and DomainModel rejects
+  // it), so the model keeps its previous weights until traffic returns.
   std::vector<double> weights = incorporate(rates);
-  if (!weights.empty()) model_.update_weights(std::move(weights));
+  if (weights.empty()) return;
+  bool any_positive = false;
+  for (const double w : weights) any_positive = any_positive || w > 0.0;
+  if (any_positive) model_.update_weights(std::move(weights));
 }
 
 EwmaLoadEstimator::EwmaLoadEstimator(DomainModel& model, double smoothing, bool oracle)
@@ -38,11 +44,19 @@ EwmaLoadEstimator::EwmaLoadEstimator(DomainModel& model, double smoothing, bool 
 }
 
 std::vector<double> EwmaLoadEstimator::incorporate(const std::vector<double>& rates) {
-  for (std::size_t d = 0; d < rates_.size(); ++d) {
-    // The first non-empty window seeds the estimate outright.
-    rates_[d] = seeded_ ? smoothing_ * rates[d] + (1.0 - smoothing_) * rates_[d] : rates[d];
+  if (!seeded_) {
+    // The first *non-empty* window seeds the estimate outright; an all-zero
+    // window before any traffic carries no information to seed from.
+    bool any = false;
+    for (const double r : rates) any = any || r > 0.0;
+    if (!any) return {};
+    rates_ = rates;
+    seeded_ = true;
+    return rates_;
   }
-  seeded_ = true;
+  for (std::size_t d = 0; d < rates_.size(); ++d) {
+    rates_[d] = smoothing_ * rates[d] + (1.0 - smoothing_) * rates_[d];
+  }
   return rates_;
 }
 

@@ -28,8 +28,10 @@ class LoadEstimator {
   virtual ~LoadEstimator() = default;
 
   /// Feeds one collection window: total hits per domain over `window_sec`.
-  /// No-op in oracle mode. A window with zero traffic everywhere carries
-  /// no ranking information and leaves the model untouched.
+  /// No-op in oracle mode. All-zero (empty) windows are incorporated like
+  /// any other observation so running estimates decay through traffic
+  /// lulls; the model only keeps its previous weights when the resulting
+  /// weight vector has no positive entry (no ranking information).
   void observe(const std::vector<std::uint64_t>& hits_per_domain, double window_sec);
 
   bool oracle() const { return oracle_; }

@@ -9,6 +9,9 @@
 #include "core/alarm_registry.h"
 #include "core/selection_policy.h"
 #include "core/ttl_policy.h"
+#include "obs/event_tracer.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
 #include "sim/stats.h"
 
 namespace adattl::core {
@@ -40,6 +43,13 @@ class DnsScheduler {
     hook_ = std::move(hook);
   }
 
+  /// Registers the scheduler's instruments (decision counter, TTL and
+  /// eligible-set-size histograms) on `registry` and optionally wires the
+  /// event tracer (`clock` stamps trace records; both may be null).
+  /// Handles are resolved once here; schedule() never touches the registry.
+  void bind_observability(obs::MetricsRegistry* registry, obs::EventTracer* tracer,
+                          const sim::Simulator* clock);
+
   const std::string& name() const { return name_; }
   const SelectionPolicy& selection() const { return *selection_; }
   const TtlPolicy& ttl_policy() const { return *ttl_; }
@@ -60,6 +70,15 @@ class DnsScheduler {
   std::vector<std::uint64_t> assignments_;
   sim::RunningStat ttl_stat_;
   std::function<void(web::DomainId, const Decision&)> hook_;
+
+  // Observability (unbound handles are no-op scratch cells; tracer/clock
+  // null unless bound — one predictable branch per decision when off).
+  obs::Counter obs_decisions_;
+  obs::HistogramHandle obs_ttl_;
+  obs::HistogramHandle obs_eligible_;
+  obs::EventTracer* tracer_ = nullptr;
+  const sim::Simulator* clock_ = nullptr;
+  bool bound_ = false;
 };
 
 }  // namespace adattl::core

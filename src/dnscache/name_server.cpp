@@ -15,13 +15,27 @@ web::ServerId NameServer::resolve() { return resolve_mapping().server; }
 Mapping NameServer::resolve_mapping() {
   if (has_fresh_mapping()) {
     ++cache_hits_;
+    obs_hits_.inc();
     return Mapping{cached_server_, expires_at_};
   }
   const core::Decision d = dns_.schedule(domain_);
   ++authoritative_queries_;
+  const double effective = behavior_.effective_ttl(d.ttl_sec);
+  obs_misses_.inc();
+  obs_effective_ttl_.observe(effective);
+  if (tracer_) tracer_->record(sim_.now(), obs::TraceKind::kNsRefresh, domain_, d.server, effective);
   cached_server_ = d.server;
-  expires_at_ = sim_.now() + behavior_.effective_ttl(d.ttl_sec);
+  expires_at_ = sim_.now() + effective;
   return Mapping{cached_server_, expires_at_};
+}
+
+void NameServer::bind_observability(obs::MetricsRegistry* registry, obs::EventTracer* tracer) {
+  tracer_ = tracer;
+  if (registry) {
+    obs_hits_ = registry->counter("ns.cache_hits");
+    obs_misses_ = registry->counter("ns.authoritative_queries");
+    obs_effective_ttl_ = registry->histogram("ns.effective_ttl_sec", 3600.0, 144);
+  }
 }
 
 }  // namespace adattl::dnscache

@@ -4,6 +4,8 @@
 
 #include "core/scheduler.h"
 #include "dnscache/resolver.h"
+#include "obs/event_tracer.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "web/types.h"
 
@@ -54,6 +56,11 @@ class NameServer : public Resolver {
 
   const NsTtlBehavior& behavior() const { return behavior_; }
 
+  /// Registers this NS's instruments. All name servers registering on the
+  /// same registry share the aggregate "ns.*" cells (cache hits/misses and
+  /// the effective-TTL distribution); trace records carry the domain id.
+  void bind_observability(obs::MetricsRegistry* registry, obs::EventTracer* tracer);
+
  private:
   sim::Simulator& sim_;
   web::DomainId domain_;
@@ -65,6 +72,11 @@ class NameServer : public Resolver {
 
   std::uint64_t cache_hits_ = 0;
   std::uint64_t authoritative_queries_ = 0;
+
+  obs::Counter obs_hits_;
+  obs::Counter obs_misses_;
+  obs::HistogramHandle obs_effective_ttl_;
+  obs::EventTracer* tracer_ = nullptr;
 };
 
 }  // namespace adattl::dnscache

@@ -177,6 +177,11 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       opt.trace_path = require_value();
     } else if (flag == "--decisions") {
       opt.decisions_path = require_value();
+    } else if (flag == "--metrics") {
+      opt.config.metrics_enabled = true;
+    } else if (flag == "--chrome-trace") {
+      opt.chrome_trace_path = require_value();
+      opt.config.trace_enabled = true;
     } else if (flag == "--shift") {
       // T:DOMAIN:FACTOR
       const std::string& v = require_value();
@@ -227,7 +232,10 @@ std::string cli_usage() {
          "  run:        --duration=SEC --warmup=SEC --seed=N --replications=R\n"
          "              --jobs=J (parallel workers; default ADATTL_JOBS or all\n"
          "              cores; 1 = serial; output is identical either way)\n"
-         "  output:     --csv --json --cdf --trace=FILE.csv --decisions=FILE.csv\n";
+         "  output:     --csv --json --cdf --trace=FILE.csv --decisions=FILE.csv\n"
+         "              --metrics (JSON gains a \"metrics\" object)\n"
+         "              --chrome-trace=FILE.json (event timeline for\n"
+         "              chrome://tracing / Perfetto)\n";
 }
 
 }  // namespace adattl::experiment

@@ -24,6 +24,9 @@ struct CliOptions {
   /// Write every authoritative DNS decision of the first replication to
   /// this CSV file (empty = no decision log).
   std::string decisions_path;
+  /// Write the first replication's event trace as Chrome trace_event JSON
+  /// to this file (empty = no trace). Implies config.trace_enabled.
+  std::string chrome_trace_path;
 };
 
 /// Parses `--key=value` style arguments into CliOptions. Unknown flags or
@@ -49,6 +52,10 @@ struct CliOptions {
 ///   --jobs=J                 parallel workers (default ADATTL_JOBS/auto;
 ///                            1 = serial; results identical either way)
 ///   --csv --json --cdf --trace=FILE.csv
+///   --metrics                enable the run metrics registry (JSON output
+///                            then carries a "metrics" object)
+///   --chrome-trace=FILE      write the first replication's event timeline
+///                            as Chrome trace_event JSON (chrome://tracing)
 ///   --shift=T:DOMAIN:FACTOR  scripted flash crowd (repeatable): at time T
 ///                            multiply DOMAIN's request rate by FACTOR
 CliOptions parse_cli(const std::vector<std::string>& args);

@@ -57,6 +57,9 @@ void SimulationConfig::validate() const {
   if (policy.rfind("GEO", 0) == 0 && geo_regions == 0) {
     throw std::invalid_argument("config: the GEO policy needs geo_regions > 0");
   }
+  if (trace_enabled && trace_capacity < 1) {
+    throw std::invalid_argument("config: trace capacity >= 1 when tracing");
+  }
   if (warmup_sec < 0) throw std::invalid_argument("config: warmup >= 0");
   if (duration_sec <= 0) throw std::invalid_argument("config: duration > 0");
 }

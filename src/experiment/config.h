@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -112,6 +113,16 @@ struct SimulationConfig {
   /// clients cache too). Off by default: the paper's model resolves once
   /// per session through the NS; the ablation bench studies the effect.
   bool client_cache_enabled = false;
+
+  // ---- Observability (off by default: zero steady-state cost) ----
+  /// Register and update the run-wide metrics registry; the RunResult then
+  /// carries a MetricsSnapshot that report serialization includes.
+  bool metrics_enabled = false;
+  /// Record typed trace events (decisions, alarm flips, NS refreshes,
+  /// pause/resume, estimator updates) into a bounded ring buffer.
+  bool trace_enabled = false;
+  /// Ring-buffer capacity in records; oldest records are overwritten.
+  std::size_t trace_capacity = 65536;
 
   // ---- Run control ----
   double warmup_sec = 600.0;

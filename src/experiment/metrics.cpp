@@ -15,7 +15,10 @@ MaxUtilizationTracker::MaxUtilizationTracker(int num_servers, sim::SimTime warmu
 }
 
 void MaxUtilizationTracker::observe(sim::SimTime now, const std::vector<double>& utilizations) {
-  if (now <= warmup_end_) return;
+  // Measured period is [warmup_end, horizon]: the sample taken exactly at
+  // the warm-up boundary belongs to the measurement (closed on the left).
+  // `<=` here silently dropped one tick per run — see DESIGN.md §11.
+  if (now < warmup_end_) return;
   if (utilizations.size() != per_server_.size()) {
     throw std::invalid_argument("MaxUtilizationTracker: size mismatch");
   }

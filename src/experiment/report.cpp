@@ -43,6 +43,37 @@ void TableReport::print(const std::string& title) const {
   for (const auto& row : rows_) print_row(row);
 }
 
+std::string metrics_to_json(const obs::MetricsSnapshot& snapshot) {
+  std::string out = "{";
+  bool first = true;
+  char buf[64];
+  for (const obs::MetricsSnapshot::Metric& m : snapshot.metrics) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + m.name + "\":{\"kind\":\"";
+    out += obs::metric_kind_name(m.kind);
+    out += "\"";
+    if (m.kind == obs::MetricKind::kHistogram) {
+      std::snprintf(buf, sizeof(buf), ",\"count\":%llu,\"sum\":%.6g,\"upper\":%.6g",
+                    static_cast<unsigned long long>(m.count), m.sum, m.upper);
+      out += buf;
+      out += ",\"bins\":[";
+      for (std::size_t i = 0; i < m.bins.size(); ++i) {
+        std::snprintf(buf, sizeof(buf), "%llu%s", static_cast<unsigned long long>(m.bins[i]),
+                      i + 1 < m.bins.size() ? "," : "");
+        out += buf;
+      }
+      out += "]";
+    } else {
+      std::snprintf(buf, sizeof(buf), ",\"value\":%.17g", m.value);
+      out += buf;
+    }
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
 void TableReport::print_csv() const {
   auto csv_row = [](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {

@@ -3,6 +3,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace adattl::experiment {
 
 /// Minimal fixed-width table printer for the bench/example binaries, so
@@ -26,5 +28,10 @@ class TableReport {
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Serializes a metrics snapshot as a JSON object keyed by metric name:
+/// counters/gauges as {"kind":...,"value":...}, histograms additionally
+/// with count, sum, upper and the raw bin array (last bin = overflow).
+std::string metrics_to_json(const obs::MetricsSnapshot& snapshot);
 
 }  // namespace adattl::experiment

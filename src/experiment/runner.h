@@ -48,8 +48,15 @@ struct SweepResult {
   std::vector<ReplicatedResult> points;
   /// Summed replication wall-clock per point (the serial-equivalent cost).
   std::vector<double> point_cpu_seconds;
+  /// Point labels in add() order (empty string when none was given).
+  std::vector<std::string> point_labels;
   double wall_seconds = 0.0;
   int jobs = 1;
+
+  /// Machine-readable sweep manifest: jobs, wall seconds, and per point
+  /// the label, replication count, cpu seconds and the summed wall-clock
+  /// phase breakdown (setup/warmup/measurement/collect) of its runs.
+  std::string manifest_json() const;
 };
 
 /// A batch of independent simulation points (config × replications) that

@@ -7,7 +7,15 @@ namespace adattl::experiment {
 
 Site::Site(const SimulationConfig& config)
     : config_(config), rng_(config.seed) {
+  obs::Stopwatch setup_watch;
   config_.validate();
+
+  // Observability backends exist only when asked for; every consumer takes
+  // a nullable pointer, so the disabled path costs a handful of null binds.
+  if (config_.metrics_enabled) metrics_registry_ = std::make_unique<obs::MetricsRegistry>();
+  if (config_.trace_enabled) {
+    event_tracer_ = std::make_unique<obs::EventTracer>(config_.trace_capacity);
+  }
 
   // Steady state holds roughly one in-flight event per client (think timer
   // or service leg) plus TTL expiries and the monitor tick; pre-sizing the
@@ -146,6 +154,19 @@ Site::Site(const SimulationConfig& config)
     }
   });
   monitor_->start();
+
+  // ---- Observability wiring (resolves all metric handles once, here) ----
+  if (metrics_registry_ || event_tracer_) {
+    obs::MetricsRegistry* reg = metrics_registry_.get();
+    obs::EventTracer* tracer = event_tracer_.get();
+    bundle_.scheduler->bind_observability(reg, tracer, &sim_);
+    alarms_->bind_observability(reg, tracer);
+    for (auto& ns : name_servers_) ns->bind_observability(reg, tracer);
+    for (int s = 0; s < cluster_->size(); ++s) {
+      cluster_->server(s).bind_observability(reg, tracer);
+    }
+  }
+  setup_seconds_ = setup_watch.elapsed();
 }
 
 void Site::collect_estimator_window(double window_sec) {
@@ -155,14 +176,26 @@ void Site::collect_estimator_window(double window_sec) {
     for (std::size_t d = 0; d < total.size(); ++d) total[d] += part[d];
   }
   estimator_->observe(total, window_sec);
+  if (event_tracer_) {
+    event_tracer_->record(sim_.now(), obs::TraceKind::kEstimatorUpdate,
+                          estimator_->windows_observed(), 0, window_sec);
+  }
 }
 
 RunResult Site::run() {
   if (ran_) throw std::logic_error("Site::run: a Site is single-use");
   ran_ = true;
 
+  // The split at the warm-up boundary is bit-identical to one run_until
+  // call over the full horizon: events scheduled exactly at the boundary
+  // execute in the first leg either way. It exists only to attribute wall
+  // time to the warm-up vs measured phases.
+  obs::Stopwatch phase_watch;
   const double horizon = config_.warmup_sec + config_.duration_sec;
+  sim_.run_until(config_.warmup_sec);
+  const double warmup_wall = phase_watch.lap();
   sim_.run_until(horizon);
+  const double measurement_wall = phase_watch.lap();
 
   RunResult r;
   r.seed = config_.seed;
@@ -230,6 +263,24 @@ RunResult Site::run() {
   r.mean_ttl = bundle_.scheduler->ttl_stat().mean();
   r.alarm_signals = alarms_->alarm_signals() + alarms_->normal_signals();
   r.events_dispatched = sim_.events_dispatched();
+
+  if (metrics_registry_) {
+    // Kernel health is tracked inside the event queue regardless of the
+    // registry; surface it in the snapshot alongside the wired instruments.
+    metrics_registry_->gauge("kernel.events_dispatched")
+        .set(static_cast<double>(sim_.events_dispatched()));
+    metrics_registry_->gauge("kernel.peak_events")
+        .set(static_cast<double>(sim_.peak_pending()));
+    metrics_registry_->gauge("kernel.cancels").set(static_cast<double>(sim_.cancels()));
+    metrics_registry_->gauge("kernel.live_events_at_end")
+        .set(static_cast<double>(sim_.pending()));
+    r.metrics = std::make_shared<const obs::MetricsSnapshot>(metrics_registry_->snapshot());
+  }
+
+  r.profile.setup_sec = setup_seconds_;
+  r.profile.warmup_sec = warmup_wall;
+  r.profile.measurement_sec = measurement_wall;
+  r.profile.collect_sec = phase_watch.lap();
   return r;
 }
 

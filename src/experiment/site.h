@@ -11,6 +11,9 @@
 #include "dnscache/name_server.h"
 #include "experiment/config.h"
 #include "experiment/metrics.h"
+#include "obs/event_tracer.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
 #include "web/cluster.h"
@@ -20,6 +23,16 @@
 #include "workload/domain_set.h"
 
 namespace adattl::experiment {
+
+/// Wall-clock phase breakdown of one run (host time, not simulated time).
+/// Purely additive observability: simulation results never depend on it.
+struct RunProfile {
+  double setup_sec = 0.0;        ///< Site construction (object-graph wiring)
+  double warmup_sec = 0.0;       ///< event loop up to the warm-up boundary
+  double measurement_sec = 0.0;  ///< event loop over the measured period
+  double collect_sec = 0.0;      ///< result aggregation after the loop
+  double total() const { return setup_sec + warmup_sec + measurement_sec + collect_sec; }
+};
 
 /// Aggregate outcome of one simulation run.
 struct RunResult {
@@ -71,6 +84,12 @@ struct RunResult {
   /// Server-side redirection counters (0 unless enabled).
   std::uint64_t redirected_pages = 0;
   double redirected_fraction = 0.0;
+
+  /// End-of-run metrics snapshot; null unless config.metrics_enabled.
+  /// shared_ptr keeps RunResult cheaply copyable across sweep plumbing.
+  std::shared_ptr<const obs::MetricsSnapshot> metrics;
+  /// Wall-clock phase breakdown (always filled; near-zero cost).
+  RunProfile profile;
 };
 
 /// One fully wired distributed Web site: servers, authoritative DNS
@@ -109,6 +128,10 @@ class Site {
   }
   const SimulationConfig& config() const { return config_; }
 
+  /// Null unless config.metrics_enabled / config.trace_enabled.
+  obs::MetricsRegistry* metrics_registry() { return metrics_registry_.get(); }
+  obs::EventTracer* event_tracer() { return event_tracer_.get(); }
+
  private:
   void collect_estimator_window(double window_sec);
 
@@ -129,6 +152,11 @@ class Site {
   std::vector<std::unique_ptr<workload::Client>> clients_;
   std::unique_ptr<web::MonitorHub> monitor_;
   std::unique_ptr<MaxUtilizationTracker> tracker_;
+
+  // Observability (null when disabled — the zero-cost default).
+  std::unique_ptr<obs::MetricsRegistry> metrics_registry_;
+  std::unique_ptr<obs::EventTracer> event_tracer_;
+  double setup_seconds_ = 0.0;
 
   int ticks_ = 0;
   bool ran_ = false;

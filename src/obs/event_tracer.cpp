@@ -1,0 +1,118 @@
+#include "obs/event_tracer.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace adattl::obs {
+
+const char* trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kDecision: return "decision";
+    case TraceKind::kAlarm: return "alarm";
+    case TraceKind::kNormal: return "normal";
+    case TraceKind::kNsRefresh: return "ns_refresh";
+    case TraceKind::kServerPause: return "server_pause";
+    case TraceKind::kServerResume: return "server_resume";
+    case TraceKind::kEstimatorUpdate: return "estimator_update";
+  }
+  return "?";
+}
+
+namespace {
+
+// Chrome-trace row (tid) per layer, so the timeline renders the DNS, the
+// alarm feedback, the resolver caches and the servers as separate tracks.
+int chrome_tid(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kDecision: return 0;
+    case TraceKind::kAlarm:
+    case TraceKind::kNormal: return 1;
+    case TraceKind::kNsRefresh: return 2;
+    case TraceKind::kServerPause:
+    case TraceKind::kServerResume: return 3;
+    case TraceKind::kEstimatorUpdate: return 4;
+  }
+  return 9;
+}
+
+const char* chrome_track_name(int tid) {
+  switch (tid) {
+    case 0: return "dns decisions";
+    case 1: return "alarm feedback";
+    case 2: return "name servers";
+    case 3: return "web servers";
+    case 4: return "estimator";
+  }
+  return "other";
+}
+
+}  // namespace
+
+EventTracer::EventTracer(std::size_t capacity) {
+  if (capacity == 0) throw std::invalid_argument("EventTracer: capacity must be >= 1");
+  ring_.resize(capacity);
+}
+
+std::vector<TraceRecord> EventTracer::records() const {
+  std::vector<TraceRecord> out;
+  if (total_ == 0) return out;
+  const std::size_t live = total_ < ring_.size() ? static_cast<std::size_t>(total_)
+                                                 : ring_.size();
+  out.reserve(live);
+  // Oldest retained record: `next_` when the ring has wrapped, 0 otherwise.
+  const std::size_t start = total_ < ring_.size() ? 0 : next_;
+  for (std::size_t i = 0; i < live; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string EventTracer::to_csv() const {
+  std::string out = "time,kind,a,b,value\n";
+  char buf[128];
+  for (const TraceRecord& r : records()) {
+    std::snprintf(buf, sizeof(buf), "%.6f,%s,%d,%d,%.6g\n", r.time, trace_kind_name(r.kind),
+                  r.a, r.b, r.value);
+    out += buf;
+  }
+  return out;
+}
+
+std::string EventTracer::to_chrome_json() const {
+  std::string out = "{\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  // Track-naming metadata events, one per layer.
+  for (int tid = 0; tid <= 4; ++tid) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,"
+                  "\"args\":{\"name\":\"%s\"}}",
+                  first ? "" : ",", tid, chrome_track_name(tid));
+    out += buf;
+    first = false;
+  }
+  for (const TraceRecord& r : records()) {
+    // Simulated seconds → trace microseconds.
+    std::snprintf(buf, sizeof(buf),
+                  ",{\"name\":\"%s\",\"cat\":\"sim\",\"ph\":\"i\",\"s\":\"t\","
+                  "\"ts\":%.3f,\"pid\":0,\"tid\":%d,"
+                  "\"args\":{\"a\":%d,\"b\":%d,\"value\":%.6g}}",
+                  trace_kind_name(r.kind), r.time * 1e6, chrome_tid(r.kind), r.a, r.b,
+                  r.value);
+    out += buf;
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+void EventTracer::write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) throw std::runtime_error("EventTracer: cannot open '" + path + "' for writing");
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const int rc = std::fclose(f);
+  if (written != content.size() || rc != 0) {
+    throw std::runtime_error("EventTracer: short write to '" + path + "'");
+  }
+}
+
+}  // namespace adattl::obs

@@ -1,0 +1,103 @@
+#include "obs/metrics.h"
+
+#include <stdexcept>
+
+namespace adattl::obs {
+
+const char* metric_kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+// Scratch cells are thread-local so unbound instruments on concurrently
+// running Sites (parallel sweeps) never share a cell — a shared global
+// would be a benign-looking data race under TSan.
+std::uint64_t* Counter::scratch() {
+  thread_local std::uint64_t cell = 0;
+  return &cell;
+}
+
+double* Gauge::scratch() {
+  thread_local double cell = 0.0;
+  return &cell;
+}
+
+HistogramCell* HistogramHandle::scratch() {
+  thread_local HistogramCell cell{1.0, std::vector<std::uint64_t>(2, 0), 0, 0.0};
+  return &cell;
+}
+
+const MetricsSnapshot::Metric* MetricsSnapshot::find(const std::string& name) const {
+  for (const Metric& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry_for(const std::string& name, MetricKind kind) {
+  const auto it = index_.find(name);
+  if (it != index_.end()) {
+    Entry& e = entries_[it->second];
+    if (e.kind != kind) {
+      throw std::invalid_argument("MetricsRegistry: '" + name + "' already registered as " +
+                                  metric_kind_name(e.kind));
+    }
+    return e;
+  }
+  entries_.push_back(Entry{name, kind, 0, 0.0, nullptr});
+  index_.emplace(name, entries_.size() - 1);
+  return entries_.back();
+}
+
+Counter MetricsRegistry::counter(const std::string& name) {
+  return Counter(&entry_for(name, MetricKind::kCounter).counter);
+}
+
+Gauge MetricsRegistry::gauge(const std::string& name) {
+  return Gauge(&entry_for(name, MetricKind::kGauge).gauge);
+}
+
+HistogramHandle MetricsRegistry::histogram(const std::string& name, double upper, int bins) {
+  if (upper <= 0.0) throw std::invalid_argument("MetricsRegistry: histogram upper must be > 0");
+  if (bins <= 0) throw std::invalid_argument("MetricsRegistry: histogram bins must be >= 1");
+  Entry& e = entry_for(name, MetricKind::kHistogram);
+  if (!e.hist) {
+    e.hist = std::make_unique<HistogramCell>();
+    e.hist->upper = upper;
+    e.hist->bins.assign(static_cast<std::size_t>(bins) + 1, 0);
+  } else if (e.hist->upper != upper ||
+             e.hist->bins.size() != static_cast<std::size_t>(bins) + 1) {
+    throw std::invalid_argument("MetricsRegistry: '" + name +
+                                "' re-registered with a different shape");
+  }
+  return HistogramHandle(e.hist.get());
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  out.metrics.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    MetricsSnapshot::Metric m;
+    m.name = e.name;
+    m.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter: m.value = static_cast<double>(e.counter); break;
+      case MetricKind::kGauge: m.value = e.gauge; break;
+      case MetricKind::kHistogram:
+        m.value = static_cast<double>(e.hist->count);
+        m.upper = e.hist->upper;
+        m.count = e.hist->count;
+        m.sum = e.hist->sum;
+        m.bins = e.hist->bins;
+        break;
+    }
+    out.metrics.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace adattl::obs

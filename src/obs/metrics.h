@@ -1,0 +1,152 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace adattl::obs {
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Returns "counter", "gauge" or "histogram".
+const char* metric_kind_name(MetricKind kind);
+
+/// Fixed-shape histogram cell: `bins` equal-width bins over [0, upper)
+/// plus one overflow bin. Shape is fixed at registration, so observe()
+/// never allocates.
+struct HistogramCell {
+  double upper = 1.0;
+  std::vector<std::uint64_t> bins;  // last slot = overflow (x >= upper)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  void observe(double x) {
+    ++count;
+    sum += x;
+    const std::size_t n = bins.size() - 1;  // regular bins
+    std::size_t idx;
+    if (!(x > 0.0)) {
+      idx = 0;  // negatives and NaN clamp to the first bin
+    } else if (x >= upper) {
+      idx = n;
+    } else {
+      idx = static_cast<std::size_t>(x / upper * static_cast<double>(n));
+    }
+    ++bins[idx];
+  }
+};
+
+/// Pre-resolved handle to a monotonically increasing count.
+///
+/// Handles are resolved once at wiring time and updated through a raw cell
+/// pointer, so the steady-state path is a single indirect increment — no
+/// lookup, no branch, no allocation. A default-constructed handle points
+/// at a thread-local scratch cell, making unbound instruments safe no-ops
+/// (data is discarded) without any null check in the hot path.
+class Counter {
+ public:
+  Counter() : cell_(scratch()) {}
+
+  void inc(std::uint64_t n = 1) { *cell_ += n; }
+  std::uint64_t value() const { return *cell_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::uint64_t* cell) : cell_(cell) {}
+  static std::uint64_t* scratch();
+  std::uint64_t* cell_;
+};
+
+/// Pre-resolved handle to a last-value-wins measurement (queue depth,
+/// busy seconds). Same cell-pointer scheme as Counter.
+class Gauge {
+ public:
+  Gauge() : cell_(scratch()) {}
+
+  void set(double v) { *cell_ = v; }
+  void add(double v) { *cell_ += v; }
+  double value() const { return *cell_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(double* cell) : cell_(cell) {}
+  static double* scratch();
+  double* cell_;
+};
+
+/// Pre-resolved handle to a fixed-bin histogram.
+class HistogramHandle {
+ public:
+  HistogramHandle() : cell_(scratch()) {}
+
+  void observe(double x) { cell_->observe(x); }
+  const HistogramCell& cell() const { return *cell_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit HistogramHandle(HistogramCell* cell) : cell_(cell) {}
+  static HistogramCell* scratch();
+  HistogramCell* cell_;
+};
+
+/// Point-in-time copy of every registered metric, detached from the
+/// registry (safe to keep after the Site that owned the registry dies).
+struct MetricsSnapshot {
+  struct Metric {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    /// Counter or gauge value (histograms: the sample count).
+    double value = 0.0;
+    // Histogram payload (empty bins for counters/gauges).
+    double upper = 0.0;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    std::vector<std::uint64_t> bins;
+  };
+
+  std::vector<Metric> metrics;  // registration order
+
+  /// nullptr when `name` was never registered.
+  const Metric* find(const std::string& name) const;
+};
+
+/// Owner of all metric cells for one simulation run.
+///
+/// Instruments register once at wiring time (allocating their cell) and
+/// receive a handle; every later update goes through the handle without
+/// touching the registry, preserving the kernel's zero-steady-state-
+/// allocation invariant. Registering an already-known name returns a
+/// handle to the *same* cell — that is how per-instance components (e.g.
+/// 20 name servers) share one aggregate counter — but re-registering a
+/// name under a different kind or histogram shape throws.
+///
+/// Not thread-safe: one registry belongs to one (single-threaded) Site.
+class MetricsRegistry {
+ public:
+  Counter counter(const std::string& name);
+  Gauge gauge(const std::string& name);
+  HistogramHandle histogram(const std::string& name, double upper, int bins);
+
+  std::size_t size() const { return entries_.size(); }
+  MetricsSnapshot snapshot() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    MetricKind kind;
+    std::uint64_t counter = 0;
+    double gauge = 0.0;
+    std::unique_ptr<HistogramCell> hist;
+  };
+
+  Entry& entry_for(const std::string& name, MetricKind kind);
+
+  // deque: cell addresses stay stable as registration grows the registry.
+  std::deque<Entry> entries_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+}  // namespace adattl::obs

@@ -1,0 +1,39 @@
+#include "obs/profiler.h"
+
+#include <cstdio>
+
+namespace adattl::obs {
+
+void PhaseProfiler::add(const std::string& phase, double seconds) {
+  const auto it = index_.find(phase);
+  if (it != index_.end()) {
+    phases_[it->second].seconds += seconds;
+    phases_[it->second].count++;
+    return;
+  }
+  index_.emplace(phase, phases_.size());
+  phases_.push_back(Phase{phase, seconds, 1});
+}
+
+double PhaseProfiler::total_seconds() const {
+  double total = 0.0;
+  for (const Phase& p : phases_) total += p.seconds;
+  return total;
+}
+
+std::string PhaseProfiler::to_json() const {
+  std::string out = "{\"phases\":[";
+  char buf[64];
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    if (i) out += ",";
+    out += "{\"name\":\"" + phases_[i].name + "\",";
+    std::snprintf(buf, sizeof(buf), "\"seconds\":%.6f,\"count\":%llu}", phases_[i].seconds,
+                  static_cast<unsigned long long>(phases_[i].count));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "],\"total_seconds\":%.6f}", total_seconds());
+  out += buf;
+  return out;
+}
+
+}  // namespace adattl::obs

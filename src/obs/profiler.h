@@ -1,0 +1,58 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace adattl::obs {
+
+/// Wall-clock stopwatch for phase timing. lap() returns the seconds since
+/// construction or the previous lap and restarts the watch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  double elapsed() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double lap() {
+    const Clock::time_point now = Clock::now();
+    const double s = std::chrono::duration<double>(now - start_).count();
+    start_ = now;
+    return s;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named wall-clock spans (setup, warmup, measurement,
+/// reduction, ...) across one run or a whole sweep. Phases keep first-add
+/// order; adding to an existing phase accumulates seconds and bumps its
+/// count, so per-replication spans roll up into per-sweep totals.
+class PhaseProfiler {
+ public:
+  struct Phase {
+    std::string name;
+    double seconds = 0.0;
+    std::uint64_t count = 0;
+  };
+
+  void add(const std::string& phase, double seconds);
+
+  const std::vector<Phase>& phases() const { return phases_; }
+  double total_seconds() const;
+
+  /// {"phases":[{"name":...,"seconds":...,"count":...},...],"total_seconds":...}
+  std::string to_json() const;
+
+ private:
+  std::vector<Phase> phases_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+}  // namespace adattl::obs

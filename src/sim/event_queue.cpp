@@ -48,6 +48,7 @@ EventHandle EventQueue::schedule(SimTime at, Callback cb) {
   s.cb = std::move(cb);
   const HeapItem item{at, next_seq_++, slot};
   heap_.push_back(item);
+  if (heap_.size() > peak_size_) peak_size_ = heap_.size();
   sift_up_hole(heap_.size() - 1, item);
   return EventHandle{(static_cast<std::uint64_t>(slot) << 32) | s.gen};
 }
@@ -64,6 +65,7 @@ bool EventQueue::cancel(EventHandle h) {
   const std::size_t pos = s.heap_pos;
   release_slot(slot);
   remove_at(pos);
+  ++cancels_;
   return true;
 }
 

@@ -69,6 +69,13 @@ class EventQueue {
   /// first n schedules allocate nothing.
   void reserve(std::size_t n);
 
+  // ---- Kernel health (always-on, trivially cheap) ----
+  /// Largest number of simultaneously live events seen so far — how close
+  /// the run came to the reserve() sizing.
+  std::size_t peak_size() const { return peak_size_; }
+  /// Successful cancel() calls since construction.
+  std::uint64_t cancels() const { return cancels_; }
+
  private:
   // Heap entries carry only the ordering key plus the slot index; the
   // callback never moves during sifts.
@@ -100,6 +107,8 @@ class EventQueue {
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 1;
+  std::size_t peak_size_ = 0;
+  std::uint64_t cancels_ = 0;
 
   static constexpr std::uint32_t kFreePos = static_cast<std::uint32_t>(-1);
 };

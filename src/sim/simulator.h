@@ -58,6 +58,12 @@ class Simulator {
   /// Live events still pending.
   std::size_t pending() const { return queue_.size(); }
 
+  /// Largest number of simultaneously pending events seen so far.
+  std::size_t peak_pending() const { return queue_.peak_size(); }
+
+  /// Successful cancellations since construction.
+  std::uint64_t cancels() const { return queue_.cancels(); }
+
   /// Pre-sizes the event queue for `n` concurrent events (see
   /// EventQueue::reserve).
   void reserve(std::size_t n) { queue_.reserve(n); }

@@ -77,13 +77,18 @@ double EmpiricalCdf::prob_below(double x) const {
 double EmpiricalCdf::quantile(double p) const {
   const int bins = this->bins();
   if (n_ == 0) return 0.0;
+  // p == 0 asks for the infimum of the support: the domain's lower edge,
+  // not the first (possibly empty) bin's upper edge.
+  if (p <= 0.0) return 0.0;
   std::uint64_t acc = 0;
   const auto target = static_cast<std::uint64_t>(std::ceil(p * static_cast<double>(n_)));
   for (int i = 0; i <= bins; ++i) {
     acc += counts_[static_cast<std::size_t>(i)];
-    if (acc >= target) return static_cast<double>(i + 1) / bins;
+    // Mass in the overflow bin (i == bins) reports the domain upper bound
+    // 1.0, never (bins+1)/bins — quantiles stay inside [0, 1].
+    if (acc >= target) return (i == bins) ? 1.0 : static_cast<double>(i + 1) / bins;
   }
-  return 1.0 + 1.0 / bins;  // mass in the overflow bin
+  return 1.0;
 }
 
 std::vector<double> EmpiricalCdf::cumulative() const {
@@ -126,6 +131,7 @@ void Histogram::merge(const Histogram& other) {
 
 double Histogram::quantile(double p) const {
   if (n_ == 0) return 0.0;
+  if (p <= 0.0) return 0.0;  // lower edge of the domain (same rule as EmpiricalCdf)
   const int bins = this->bins();
   const auto target = static_cast<std::uint64_t>(std::ceil(p * static_cast<double>(n_)));
   std::uint64_t acc = 0;

@@ -70,7 +70,9 @@ class EmpiricalCdf {
   /// otherwise (conservative: uses the lower boundary's mass).
   double prob_below(double x) const;
 
-  /// Smallest bin-boundary q with P(X < q) >= p (an upper quantile bound).
+  /// Smallest bin-boundary q with P(X < q) >= p (an upper quantile bound),
+  /// clamped to the CDF's domain: 0.0 for p <= 0, and 1.0 when the target
+  /// mass lands in the overflow bin.
   double quantile(double p) const;
 
   int bins() const { return static_cast<int>(counts_.size()) - 1; }
@@ -101,7 +103,8 @@ class Histogram {
   double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
 
   /// Smallest bin upper boundary q with P(X <= q) >= p; `upper` if the
-  /// quantile falls in the overflow bin. 0 when empty.
+  /// quantile falls in the overflow bin. 0 when empty or for p <= 0 (the
+  /// lower edge of the range, matching EmpiricalCdf::quantile).
   double quantile(double p) const;
 
   double upper() const { return upper_; }

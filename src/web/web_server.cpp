@@ -1,6 +1,7 @@
 #include "web/web_server.h"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace adattl::web {
@@ -28,10 +29,16 @@ void WebServer::submit_page(PageRequest req) {
   lifetime_hits_[d] += static_cast<std::uint64_t>(req.hits);
 
   queue_.push_back(Job{std::move(req), sim_.now()});
+  obs_queue_depth_.set(static_cast<double>(queue_length()));
   if (!busy_ && !paused_) start_next();
 }
 
 void WebServer::set_paused(bool paused) {
+  if (tracer_ && paused != paused_) {
+    tracer_->record(sim_.now(), paused ? obs::TraceKind::kServerPause
+                                       : obs::TraceKind::kServerResume,
+                    id_);
+  }
   paused_ = paused;
   if (!paused_ && !busy_ && !queue_.empty()) start_next();
 }
@@ -56,6 +63,11 @@ void WebServer::finish_current() {
   response_time_.add(sim_.now() - current_.arrival);
   response_hist_.add(sim_.now() - current_.arrival);
 
+  obs_pages_.inc();
+  obs_hits_.inc(static_cast<std::uint64_t>(current_.req.hits));
+  obs_busy_sec_.set(closed_busy_time_);
+  obs_queue_depth_.set(static_cast<double>(queue_.size()));
+
   // Detach the completion callback before dequeueing the next job so a
   // callback that immediately submits another page sees consistent state.
   auto done = std::move(current_.req.on_complete);
@@ -67,6 +79,17 @@ double WebServer::cumulative_busy_time(sim::SimTime now) const {
   double busy = closed_busy_time_;
   if (busy_) busy += std::min(now, service_end_) - service_start_;
   return busy;
+}
+
+void WebServer::bind_observability(obs::MetricsRegistry* registry, obs::EventTracer* tracer) {
+  tracer_ = tracer;
+  if (registry) {
+    const std::string prefix = "server." + std::to_string(id_) + ".";
+    obs_pages_ = registry->counter(prefix + "pages_completed");
+    obs_hits_ = registry->counter(prefix + "hits_completed");
+    obs_queue_depth_ = registry->gauge(prefix + "queue_depth");
+    obs_busy_sec_ = registry->gauge(prefix + "busy_sec");
+  }
 }
 
 std::vector<std::uint64_t> WebServer::drain_domain_hits() {

@@ -4,6 +4,8 @@
 #include <deque>
 #include <vector>
 
+#include "obs/event_tracer.h"
+#include "obs/metrics.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
@@ -67,6 +69,11 @@ class WebServer {
   /// queries; merge across servers for a site-wide view.
   const sim::Histogram& response_histogram() const { return response_hist_; }
 
+  /// Registers per-server instruments ("server.<id>.pages_completed",
+  /// "server.<id>.hits_completed", queue-depth and busy-seconds gauges)
+  /// and wires pause/resume trace records (either argument may be null).
+  void bind_observability(obs::MetricsRegistry* registry, obs::EventTracer* tracer);
+
  private:
   struct Job {
     PageRequest req;
@@ -96,6 +103,12 @@ class WebServer {
   std::uint64_t hits_served_ = 0;
   sim::RunningStat response_time_;
   sim::Histogram response_hist_{30.0, 3000};
+
+  obs::Counter obs_pages_;
+  obs::Counter obs_hits_;
+  obs::Gauge obs_queue_depth_;
+  obs::Gauge obs_busy_sec_;
+  obs::EventTracer* tracer_ = nullptr;
 };
 
 }  // namespace adattl::web

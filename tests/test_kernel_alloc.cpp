@@ -11,6 +11,8 @@
 #include <cstdlib>
 #include <new>
 
+#include "obs/event_tracer.h"
+#include "obs/metrics.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
@@ -120,6 +122,46 @@ TEST(KernelAlloc, ReservedSimulatorRunAllocatesNothingPerEvent) {
   sim.run();
   EXPECT_EQ(allocations() - before, 0u) << "dispatch loop must not allocate per event";
   EXPECT_EQ(chain, 10000u);
+}
+
+TEST(KernelAlloc, MetricHandleUpdatesAllocateNothing) {
+  // Registration (wiring time) may allocate; the handle hot path must not.
+  obs::MetricsRegistry registry;
+  obs::Counter counter = registry.counter("test.counter");
+  obs::Gauge gauge = registry.gauge("test.gauge");
+  obs::HistogramHandle hist = registry.histogram("test.hist", 10.0, 64);
+  // Unbound (scratch-cell) handles: the disabled-observability path.
+  obs::Counter unbound_counter;
+  obs::Gauge unbound_gauge;
+  obs::HistogramHandle unbound_hist;
+
+  const std::uint64_t before = allocations();
+  for (int i = 0; i < 10000; ++i) {
+    counter.inc();
+    gauge.set(static_cast<double>(i));
+    hist.observe(static_cast<double>(i % 12));
+    unbound_counter.inc();
+    unbound_gauge.add(1.0);
+    unbound_hist.observe(0.5);
+  }
+  EXPECT_EQ(allocations() - before, 0u) << "metric updates must not allocate";
+  EXPECT_EQ(counter.value(), 10000u);
+}
+
+TEST(KernelAlloc, TracerRecordAllocatesNothing) {
+  // Ring-buffer writes (enabled path) and the null-check (disabled path)
+  // are both allocation-free; only construction and export may allocate.
+  obs::EventTracer tracer(1024);
+  obs::EventTracer* disabled = nullptr;
+
+  const std::uint64_t before = allocations();
+  for (int i = 0; i < 10000; ++i) {
+    tracer.record(static_cast<double>(i), obs::TraceKind::kDecision, i % 20, i % 7, 240.0);
+    if (disabled) disabled->record(0.0, obs::TraceKind::kAlarm, 0);
+  }
+  EXPECT_EQ(allocations() - before, 0u) << "trace records must not allocate";
+  EXPECT_EQ(tracer.total_recorded(), 10000u);
+  EXPECT_EQ(tracer.dropped(), 10000u - 1024u);
 }
 
 }  // namespace

@@ -49,11 +49,70 @@ TEST(LoadEstimator, OracleModeNeverTouchesModel) {
 
 TEST(LoadEstimator, AllZeroWindowKeepsPreviousWeights) {
   DomainModel m({1.0, 1.0}, 0.4);
-  EwmaLoadEstimator est(m, 1.0);  // no memory: a zero window would zero the model
+  EwmaLoadEstimator est(m, 1.0);  // no memory: a zero window yields all-zero weights
   est.observe({80, 40}, 8.0);
   est.observe({0, 0}, 8.0);
-  EXPECT_DOUBLE_EQ(m.weight(0), 10.0);  // survived the empty window
+  // The all-zero weight vector carries no ranking information, so the model
+  // keeps the last valid weights (DomainModel rejects total <= 0)...
+  EXPECT_DOUBLE_EQ(m.weight(0), 10.0);
   EXPECT_DOUBLE_EQ(m.weight(1), 5.0);
+  // ...but the estimator itself HAS incorporated the lull (alpha = 1 wipes
+  // its internal rates), so the next window seeds the model afresh.
+  est.observe({8, 80}, 8.0);
+  EXPECT_DOUBLE_EQ(m.weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(m.weight(1), 10.0);
+}
+
+TEST(LoadEstimator, EwmaDecaysThroughTrafficLulls) {
+  // The observe() bug this guards against: empty windows were skipped
+  // entirely, freezing a stale hot-domain estimate through a lull instead
+  // of decaying it.
+  DomainModel m({1.0, 1.0}, 0.4);
+  EwmaLoadEstimator est(m, 0.5);
+  est.observe({800, 80}, 8.0);  // rates 100, 10
+  for (int w = 0; w < 3; ++w) est.observe({0, 0}, 8.0);
+  // Three empty windows halve the estimate three times: 100 -> 12.5.
+  EXPECT_DOUBLE_EQ(est.current_rates()[0], 12.5);
+  EXPECT_DOUBLE_EQ(est.current_rates()[1], 1.25);
+  // Shares are scale-free, so the installed model still ranks domain 0
+  // first — but a single busy window for domain 1 now flips the ranking
+  // quickly instead of fighting a frozen rate of 100.
+  est.observe({0, 400}, 8.0);  // rates 0, 50
+  EXPECT_GT(m.share(1), m.share(0));
+}
+
+TEST(LoadEstimator, EwmaUnseededZeroWindowsAreNoOps) {
+  // Before any traffic there is nothing to decay or seed from: all-zero
+  // windows leave the estimator unseeded and the model untouched.
+  DomainModel m({3.0, 1.0}, 0.4);
+  EwmaLoadEstimator est(m, 0.3);
+  est.observe({0, 0}, 8.0);
+  est.observe({0, 0}, 8.0);
+  EXPECT_DOUBLE_EQ(m.weight(0), 3.0);
+  EXPECT_DOUBLE_EQ(m.weight(1), 1.0);
+  EXPECT_EQ(est.windows_observed(), 2);
+  // The first real window still seeds outright (not blended with zeros).
+  est.observe({80, 40}, 8.0);
+  EXPECT_DOUBLE_EQ(m.weight(0), 10.0);
+  EXPECT_DOUBLE_EQ(m.weight(1), 5.0);
+}
+
+TEST(SlidingWindowEstimator, EmptyWindowsAgeOutOldTraffic) {
+  DomainModel m({1.0, 1.0}, 0.4);
+  SlidingWindowLoadEstimator est(m, 2);
+  est.observe({160, 16}, 8.0);  // rates {20, 2}
+  est.observe({0, 0}, 8.0);     // window {{20,2},{0,0}} -> mean {10, 1}
+  EXPECT_DOUBLE_EQ(m.weight(0), 10.0);
+  EXPECT_DOUBLE_EQ(m.weight(1), 1.0);
+  // A second empty window pushes the traffic out of the window entirely;
+  // the all-zero mean is not installed, so the last weights persist.
+  est.observe({0, 0}, 8.0);
+  EXPECT_DOUBLE_EQ(m.weight(0), 10.0);
+  EXPECT_DOUBLE_EQ(m.weight(1), 1.0);
+  // New traffic is then averaged against the remembered empty window.
+  est.observe({160, 160}, 8.0);  // rates {20, 20}; window mean {10, 10}
+  EXPECT_DOUBLE_EQ(m.weight(0), 10.0);
+  EXPECT_DOUBLE_EQ(m.weight(1), 10.0);
 }
 
 TEST(LoadEstimator, TracksShiftingHotSpot) {

@@ -8,10 +8,13 @@ namespace {
 TEST(MaxUtilizationTracker, IgnoresWarmupSamples) {
   MaxUtilizationTracker t(3, /*warmup_end=*/100.0);
   t.observe(50.0, {0.9, 0.9, 0.9});
-  t.observe(100.0, {0.9, 0.9, 0.9});  // boundary sample still warm-up
   EXPECT_EQ(t.samples(), 0u);
-  t.observe(108.0, {0.5, 0.2, 0.1});
+  // The measured period is closed on the left: the sample taken exactly at
+  // the warm-up boundary is the first measured one (DESIGN.md §11).
+  t.observe(100.0, {0.9, 0.9, 0.9});
   EXPECT_EQ(t.samples(), 1u);
+  t.observe(108.0, {0.5, 0.2, 0.1});
+  EXPECT_EQ(t.samples(), 2u);
 }
 
 TEST(MaxUtilizationTracker, TracksMaximumAcrossServers) {

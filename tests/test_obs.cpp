@@ -1,0 +1,387 @@
+// Observability layer: metrics registry semantics, tracer ring buffer and
+// exporters, phase profiler, and end-to-end wiring through a Site run —
+// including the invariant that enabling observability never changes the
+// simulation results.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "experiment/report.h"
+#include "experiment/runner.h"
+#include "experiment/site.h"
+#include "obs/event_tracer.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+
+namespace adattl {
+namespace {
+
+// ---------------------------------------------------------------- registry
+
+TEST(MetricsRegistry, CounterGaugeHistogramBasics) {
+  obs::MetricsRegistry registry;
+  obs::Counter c = registry.counter("c");
+  obs::Gauge g = registry.gauge("g");
+  obs::HistogramHandle h = registry.histogram("h", 10.0, 10);
+
+  c.inc();
+  c.inc(41);
+  g.set(2.5);
+  g.add(0.5);
+  h.observe(0.5);    // bin 0
+  h.observe(9.99);   // bin 9
+  h.observe(10.0);   // overflow
+  h.observe(-1.0);   // clamps to bin 0
+
+  EXPECT_EQ(c.value(), 42u);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  EXPECT_EQ(h.cell().count, 4u);
+  EXPECT_EQ(h.cell().bins[0], 2u);
+  EXPECT_EQ(h.cell().bins[9], 1u);
+  EXPECT_EQ(h.cell().bins[10], 1u);  // overflow slot
+  EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST(MetricsRegistry, SameNameSharesOneCell) {
+  // Per-instance components (e.g. 20 name servers) register the same name
+  // and must all hit one aggregate cell.
+  obs::MetricsRegistry registry;
+  obs::Counter a = registry.counter("ns.cache_hits");
+  obs::Counter b = registry.counter("ns.cache_hits");
+  a.inc();
+  b.inc();
+  EXPECT_EQ(a.value(), 2u);
+  EXPECT_EQ(b.value(), 2u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  obs::MetricsRegistry registry;
+  registry.counter("x");
+  EXPECT_THROW(registry.gauge("x"), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("x", 1.0, 4), std::invalid_argument);
+  registry.histogram("h", 1.0, 4);
+  EXPECT_THROW(registry.histogram("h", 2.0, 4), std::invalid_argument);  // shape change
+  EXPECT_THROW(registry.histogram("h", 1.0, 8), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, UnboundHandlesAreSafeNoOps) {
+  obs::Counter c;
+  obs::Gauge g;
+  obs::HistogramHandle h;
+  c.inc(7);
+  g.set(1.0);
+  h.observe(0.5);  // must not crash; data goes to the scratch cells
+  SUCCEED();
+}
+
+TEST(MetricsRegistry, SnapshotDetachesAndFinds) {
+  obs::MetricsRegistry registry;
+  obs::Counter c = registry.counter("done");
+  obs::HistogramHandle h = registry.histogram("lat", 2.0, 4);
+  c.inc(3);
+  h.observe(1.0);
+  h.observe(5.0);
+
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.metrics.size(), 2u);
+  const obs::MetricsSnapshot::Metric* done = snap.find("done");
+  ASSERT_NE(done, nullptr);
+  EXPECT_EQ(done->kind, obs::MetricKind::kCounter);
+  EXPECT_DOUBLE_EQ(done->value, 3.0);
+
+  const obs::MetricsSnapshot::Metric* lat = snap.find("lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count, 2u);
+  EXPECT_DOUBLE_EQ(lat->sum, 6.0);
+  ASSERT_EQ(lat->bins.size(), 5u);
+  EXPECT_EQ(lat->bins[2], 1u);
+  EXPECT_EQ(lat->bins[4], 1u);  // overflow
+
+  EXPECT_EQ(snap.find("missing"), nullptr);
+
+  // Detached: later updates don't retroactively change the snapshot.
+  c.inc();
+  EXPECT_DOUBLE_EQ(snap.find("done")->value, 3.0);
+}
+
+TEST(MetricsRegistry, SnapshotSerializesAsJson) {
+  obs::MetricsRegistry registry;
+  registry.counter("a.count").inc(5);
+  registry.gauge("b.depth").set(1.5);
+  registry.histogram("c.lat", 1.0, 2).observe(0.3);
+  const std::string json = experiment::metrics_to_json(registry.snapshot());
+  EXPECT_NE(json.find("\"a.count\":{\"kind\":\"counter\",\"value\":5}"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"b.depth\":{\"kind\":\"gauge\",\"value\":1.5}"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"c.lat\":{\"kind\":\"histogram\",\"count\":1"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"bins\":[1,0,0]"), std::string::npos) << json;
+}
+
+// ----------------------------------------------------------------- tracer
+
+TEST(EventTracer, RecordsInOrderAndWraps) {
+  obs::EventTracer tracer(4);
+  EXPECT_THROW(obs::EventTracer(0), std::invalid_argument);
+
+  for (int i = 0; i < 6; ++i) {
+    tracer.record(static_cast<double>(i), obs::TraceKind::kDecision, i, 0, 0.0);
+  }
+  EXPECT_EQ(tracer.capacity(), 4u);
+  EXPECT_EQ(tracer.total_recorded(), 6u);
+  EXPECT_EQ(tracer.dropped(), 2u);
+
+  const auto records = tracer.records();
+  ASSERT_EQ(records.size(), 4u);
+  // Oldest two (0, 1) overwritten; the rest retained chronologically.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(records[static_cast<std::size_t>(i)].a, i + 2);
+    EXPECT_DOUBLE_EQ(records[static_cast<std::size_t>(i)].time, static_cast<double>(i + 2));
+  }
+}
+
+TEST(EventTracer, CsvExport) {
+  obs::EventTracer tracer(8);
+  tracer.record(1.5, obs::TraceKind::kDecision, 3, 2, 240.0);
+  tracer.record(2.0, obs::TraceKind::kAlarm, 1, 0, 0.95);
+  const std::string csv = tracer.to_csv();
+  EXPECT_NE(csv.find("time,kind,a,b,value"), std::string::npos);
+  EXPECT_NE(csv.find("1.500000,decision,3,2,240"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("2.000000,alarm,1,0,0.95"), std::string::npos) << csv;
+}
+
+TEST(EventTracer, ChromeJsonExport) {
+  obs::EventTracer tracer(8);
+  tracer.record(1.0, obs::TraceKind::kDecision, 3, 2, 240.0);
+  tracer.record(2.0, obs::TraceKind::kNsRefresh, 4, 1, 120.0);
+  const std::string json = tracer.to_chrome_json();
+  // Track metadata plus one instant event per record, ts in microseconds.
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u) << json;
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"dns decisions\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"decision\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1000000.000"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"ns_refresh\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\"}"), std::string::npos);
+}
+
+TEST(EventTracer, KindNamesAreStable) {
+  EXPECT_STREQ(obs::trace_kind_name(obs::TraceKind::kDecision), "decision");
+  EXPECT_STREQ(obs::trace_kind_name(obs::TraceKind::kAlarm), "alarm");
+  EXPECT_STREQ(obs::trace_kind_name(obs::TraceKind::kNormal), "normal");
+  EXPECT_STREQ(obs::trace_kind_name(obs::TraceKind::kNsRefresh), "ns_refresh");
+  EXPECT_STREQ(obs::trace_kind_name(obs::TraceKind::kServerPause), "server_pause");
+  EXPECT_STREQ(obs::trace_kind_name(obs::TraceKind::kServerResume), "server_resume");
+  EXPECT_STREQ(obs::trace_kind_name(obs::TraceKind::kEstimatorUpdate), "estimator_update");
+}
+
+// --------------------------------------------------------------- profiler
+
+TEST(PhaseProfiler, AccumulatesInFirstAddOrder) {
+  obs::PhaseProfiler profiler;
+  profiler.add("setup", 1.0);
+  profiler.add("run", 2.0);
+  profiler.add("setup", 0.5);
+
+  const auto& phases = profiler.phases();
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases[0].name, "setup");
+  EXPECT_DOUBLE_EQ(phases[0].seconds, 1.5);
+  EXPECT_EQ(phases[0].count, 2u);
+  EXPECT_EQ(phases[1].name, "run");
+  EXPECT_DOUBLE_EQ(profiler.total_seconds(), 3.5);
+
+  const std::string json = profiler.to_json();
+  EXPECT_NE(json.find("\"name\":\"setup\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"total_seconds\":3.5"), std::string::npos) << json;
+}
+
+// ------------------------------------------------------------- end to end
+
+experiment::SimulationConfig obs_config() {
+  experiment::SimulationConfig config;
+  config.cluster = web::table2_cluster(35);
+  config.policy = "DRR2-TTL/S_K";
+  config.total_clients = 120;
+  config.num_domains = 8;
+  config.oracle_weights = false;  // exercise the estimator-update records
+  config.warmup_sec = 60.0;
+  config.duration_sec = 600.0;
+  config.seed = 424242;
+  return config;
+}
+
+TEST(SiteObservability, MetricsMatchComponentCounters) {
+  experiment::SimulationConfig config = obs_config();
+  config.metrics_enabled = true;
+  config.trace_enabled = true;
+  config.trace_capacity = 1 << 16;
+
+  experiment::Site site(config);
+  const experiment::RunResult result = site.run();
+
+  ASSERT_NE(result.metrics, nullptr);
+  const obs::MetricsSnapshot& snap = *result.metrics;
+
+  const auto* decisions = snap.find("scheduler.decisions");
+  ASSERT_NE(decisions, nullptr);
+  EXPECT_GT(decisions->value, 0.0);
+  EXPECT_DOUBLE_EQ(decisions->value,
+                   static_cast<double>(site.scheduler().decisions()));
+
+  const auto* ns_hits = snap.find("ns.cache_hits");
+  const auto* ns_queries = snap.find("ns.authoritative_queries");
+  ASSERT_NE(ns_hits, nullptr);
+  ASSERT_NE(ns_queries, nullptr);
+  EXPECT_DOUBLE_EQ(ns_hits->value, static_cast<double>(result.ns_cache_hits));
+  EXPECT_DOUBLE_EQ(ns_queries->value, static_cast<double>(result.authoritative_queries));
+
+  // Per-server completion counters sum to the site-wide totals.
+  double pages = 0.0;
+  for (int s = 0; s < config.cluster.size(); ++s) {
+    const auto* m = snap.find("server." + std::to_string(s) + ".pages_completed");
+    ASSERT_NE(m, nullptr);
+    pages += m->value;
+  }
+  EXPECT_GT(pages, 0.0);
+
+  const auto* ttl_hist = snap.find("scheduler.ttl_sec");
+  ASSERT_NE(ttl_hist, nullptr);
+  EXPECT_EQ(ttl_hist->count, static_cast<std::uint64_t>(decisions->value));
+
+  // Kernel health gauges filled at end of run.
+  const auto* dispatched = snap.find("kernel.events_dispatched");
+  ASSERT_NE(dispatched, nullptr);
+  EXPECT_DOUBLE_EQ(dispatched->value, static_cast<double>(result.events_dispatched));
+  const auto* peak = snap.find("kernel.peak_events");
+  ASSERT_NE(peak, nullptr);
+  EXPECT_GT(peak->value, 0.0);
+}
+
+TEST(SiteObservability, TracerCapturesDecisionTimeline) {
+  experiment::SimulationConfig config = obs_config();
+  config.trace_enabled = true;
+  config.trace_capacity = 1 << 16;
+  // Inject an outage so pause/resume records appear too.
+  config.outages.push_back(experiment::ServerOutage{200.0, 100.0, 0});
+
+  experiment::Site site(config);
+  site.run();
+
+  obs::EventTracer* tracer = site.event_tracer();
+  ASSERT_NE(tracer, nullptr);
+  EXPECT_GT(tracer->total_recorded(), 0u);
+
+  bool saw_decision = false, saw_ns = false, saw_pause = false, saw_resume = false,
+       saw_estimator = false;
+  double last_time = -1.0;
+  for (const obs::TraceRecord& r : tracer->records()) {
+    EXPECT_GE(r.time, last_time);  // chronological
+    last_time = r.time;
+    switch (r.kind) {
+      case obs::TraceKind::kDecision:
+        saw_decision = true;
+        EXPECT_GE(r.a, 0);
+        EXPECT_LT(r.a, config.num_domains);
+        EXPECT_GE(r.b, 0);
+        EXPECT_LT(r.b, config.cluster.size());
+        EXPECT_GT(r.value, 0.0);  // TTL
+        break;
+      case obs::TraceKind::kNsRefresh: saw_ns = true; break;
+      case obs::TraceKind::kServerPause: saw_pause = true; break;
+      case obs::TraceKind::kServerResume: saw_resume = true; break;
+      case obs::TraceKind::kEstimatorUpdate: saw_estimator = true; break;
+      default: break;
+    }
+  }
+  EXPECT_TRUE(saw_decision);
+  EXPECT_TRUE(saw_ns);
+  EXPECT_TRUE(saw_pause);
+  EXPECT_TRUE(saw_resume);
+  EXPECT_TRUE(saw_estimator);
+
+  // The exported timeline parses as one JSON object (spot checks).
+  const std::string json = tracer->to_chrome_json();
+  EXPECT_NE(json.find("\"name\":\"server_pause\""), std::string::npos);
+}
+
+TEST(SiteObservability, EnablingObservabilityDoesNotChangeResults) {
+  // Same seed, observability off vs fully on: every simulation-visible
+  // output must be bit-identical (wall-clock profile fields excluded).
+  experiment::SimulationConfig off = obs_config();
+  experiment::SimulationConfig on = obs_config();
+  on.metrics_enabled = true;
+  on.trace_enabled = true;
+
+  experiment::Site site_off(off);
+  const experiment::RunResult a = site_off.run();
+  experiment::Site site_on(on);
+  const experiment::RunResult b = site_on.run();
+
+  EXPECT_EQ(a.total_pages, b.total_pages);
+  EXPECT_EQ(a.total_hits, b.total_hits);
+  EXPECT_EQ(a.authoritative_queries, b.authoritative_queries);
+  EXPECT_EQ(a.ns_cache_hits, b.ns_cache_hits);
+  EXPECT_EQ(a.alarm_signals, b.alarm_signals);
+  EXPECT_EQ(a.events_dispatched, b.events_dispatched);
+  EXPECT_EQ(a.mean_max_utilization, b.mean_max_utilization);  // bitwise
+  EXPECT_EQ(a.aggregate_utilization, b.aggregate_utilization);
+  EXPECT_EQ(a.mean_ttl, b.mean_ttl);
+  EXPECT_EQ(a.mean_page_response_sec, b.mean_page_response_sec);
+  EXPECT_EQ(a.metrics, nullptr);
+  ASSERT_NE(b.metrics, nullptr);
+}
+
+TEST(SiteObservability, RunProfileIsFilled) {
+  experiment::SimulationConfig config = obs_config();
+  config.duration_sec = 120.0;
+  experiment::Site site(config);
+  const experiment::RunResult r = site.run();
+  EXPECT_GT(r.profile.setup_sec, 0.0);
+  EXPECT_GT(r.profile.measurement_sec, 0.0);
+  EXPECT_GE(r.profile.warmup_sec, 0.0);
+  EXPECT_GE(r.profile.collect_sec, 0.0);
+  EXPECT_GT(r.profile.total(), 0.0);
+}
+
+TEST(SweepManifest, CarriesLabelsAndPhases) {
+  experiment::SimulationConfig config = obs_config();
+  config.duration_sec = 120.0;
+  experiment::Sweep sweep;
+  sweep.add(config, 2, "pointA");
+  sweep.add_policy(config, "RR", 1);
+  const experiment::SweepResult result = sweep.run();
+
+  ASSERT_EQ(result.point_labels.size(), 2u);
+  EXPECT_EQ(result.point_labels[0], "pointA");
+  EXPECT_EQ(result.point_labels[1], "RR");
+
+  const std::string manifest = result.manifest_json();
+  EXPECT_NE(manifest.find("\"label\":\"pointA\""), std::string::npos) << manifest;
+  EXPECT_NE(manifest.find("\"replications\":2"), std::string::npos) << manifest;
+  EXPECT_NE(manifest.find("\"measurement_sec\":"), std::string::npos) << manifest;
+  EXPECT_NE(manifest.find("\"jobs\":"), std::string::npos) << manifest;
+}
+
+TEST(RunnerJson, IncludesMetricsWhenEnabled) {
+  experiment::SimulationConfig config = obs_config();
+  config.duration_sec = 120.0;
+  config.metrics_enabled = true;
+  const experiment::ReplicatedResult rep = experiment::run_replications(config, 1);
+  const std::string json = experiment::to_json(config, rep);
+  EXPECT_NE(json.find("\"metrics\":{"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"scheduler.decisions\""), std::string::npos) << json;
+
+  // And absent when disabled.
+  experiment::SimulationConfig plain = obs_config();
+  plain.duration_sec = 120.0;
+  const experiment::ReplicatedResult rep2 = experiment::run_replications(plain, 1);
+  EXPECT_EQ(experiment::to_json(plain, rep2).find("\"metrics\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adattl

@@ -108,6 +108,50 @@ TEST(EmpiricalCdf, RejectsBadBinCount) {
   EXPECT_THROW(EmpiricalCdf(0), std::invalid_argument);
 }
 
+TEST(EmpiricalCdf, QuantileClampsOverflowMassToDomain) {
+  // Regression: mass in the overflow bin used to report (bins+1)/bins,
+  // i.e. a "probability" above 1. It must clamp to the domain edge 1.0.
+  EmpiricalCdf c(10);
+  for (int i = 0; i < 10; ++i) c.add(1.5);  // all samples saturate
+  EXPECT_DOUBLE_EQ(c.quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(c.quantile(1.0), 1.0);
+  c.add(0.05);  // one in-range sample; high quantiles still clamp
+  EXPECT_DOUBLE_EQ(c.quantile(0.99), 1.0);
+  EXPECT_LE(c.quantile(0.05), 0.1);
+}
+
+TEST(EmpiricalCdf, QuantileZeroIsLowerDomainEdge) {
+  EmpiricalCdf c(10);
+  // Leading empty bins: p == 0 must report the domain's lower edge, not
+  // the first occupied bin's upper boundary.
+  c.add(0.75);
+  c.add(0.85);
+  EXPECT_DOUBLE_EQ(c.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.quantile(-0.5), 0.0);
+  EXPECT_GT(c.quantile(0.5), 0.0);
+}
+
+TEST(Quantiles, HistogramAndCdfAgreeOnSharedUnitData) {
+  // Property cross-check: a Histogram over [0, 1) with N bins and an
+  // EmpiricalCdf with N bins are the same data structure up to naming;
+  // fed identical samples they must return identical quantiles.
+  constexpr int kBins = 64;
+  Histogram h(1.0, kBins);
+  EmpiricalCdf c(kBins);
+  RngStream rng(1234);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform(0.0, 1.3);  // ~23% saturates into overflow
+    h.add(x);
+    c.add(x);
+  }
+  for (double p = 0.0; p <= 1.0; p += 0.01) {
+    EXPECT_DOUBLE_EQ(h.quantile(p), c.quantile(p)) << "p=" << p;
+  }
+  // Both stay inside the domain even with overflow mass.
+  EXPECT_LE(h.quantile(1.0), 1.0);
+  EXPECT_LE(c.quantile(1.0), 1.0);
+}
+
 TEST(ConfidenceInterval, KnownTValue) {
   RunningStat s;
   // Five samples, sd = 1: halfwidth = t(4, .975) / sqrt(5) = 2.776 / 2.2360.

@@ -56,3 +56,51 @@ with open(out_path, "w") as f:
     f.write("\n")
 print(f"wrote {out_path} ({len(distilled)} benchmarks)")
 PY
+
+# ---- Observability overhead: tracing/metrics enabled vs disabled ----
+# Distilled into BENCH_obs.json next to OUT: the hot-path micro costs and
+# the full-site enabled/disabled delta (the <3% regression budget).
+OBS_OUT="$(dirname "${OUT}")/BENCH_obs.json"
+obs_bin="${BUILD_DIR}/bench/micro_obs"
+if [[ ! -x "${obs_bin}" ]]; then
+  echo "error: ${obs_bin} not built (cmake --build ${BUILD_DIR} --target micro_obs)" >&2
+  exit 1
+fi
+echo "running ${obs_bin} ..." >&2
+"${obs_bin}" --benchmark_format=json \
+             --benchmark_out="${OBS_OUT%.json}.raw.micro_obs.json" \
+             --benchmark_out_format=json > /dev/null
+
+python3 - "${OBS_OUT}" "${OBS_OUT%.json}.raw.micro_obs.json" <<'PY'
+import json, sys
+
+out_path, raw_path = sys.argv[1:]
+with open(raw_path) as f:
+    dump = json.load(f)
+ctx = dump.get("context", {})
+distilled = {}
+for b in dump.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
+    entry = {"real_time_ns": b.get("real_time")}
+    if "items_per_second" in b:
+        entry["items_per_second"] = b["items_per_second"]
+    distilled[b["name"]] = entry
+
+summary = {}
+off = distilled.get("BM_FullSiteObs/disabled", {}).get("real_time_ns")
+on = distilled.get("BM_FullSiteObs/enabled", {}).get("real_time_ns")
+if off and on:
+    summary["full_site_enabled_over_disabled"] = on / off
+    summary["full_site_overhead_percent"] = (on / off - 1.0) * 100.0
+
+with open(out_path, "w") as f:
+    json.dump({"context": {"date": ctx.get("date"),
+                           "host_name": ctx.get("host_name"),
+                           "num_cpus": ctx.get("num_cpus"),
+                           "build_type": ctx.get("library_build_type")},
+               "benchmarks": distilled,
+               "summary": summary}, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path} ({len(distilled)} benchmarks)")
+PY
