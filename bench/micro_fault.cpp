@@ -1,0 +1,40 @@
+// Fault-layer overhead: the injector is wired into every Site, so a
+// fault-free run must cost what it did before the subsystem existed (an
+// empty schedule adds zero events and no per-page bookkeeping), and a
+// chaos schedule's extra cost must stay bounded by its handful of timed
+// events plus the client retries they trigger. BM_FullSiteFault/fault_free
+// mirrors micro_simulation's BM_FullSite/RR exactly (same cluster, policy,
+// horizon, seeds) so the two can be ratioed across binaries.
+#include <benchmark/benchmark.h>
+
+#include "experiment/site.h"
+
+namespace {
+
+using namespace adattl;
+
+void BM_FullSiteFault(benchmark::State& state, bool chaos) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    experiment::SimulationConfig cfg;
+    cfg.cluster = web::table2_cluster(35);
+    cfg.policy = "RR";
+    cfg.warmup_sec = 60.0;
+    cfg.duration_sec = 540.0;  // 10 simulated minutes per iteration
+    cfg.seed = 1000 + static_cast<std::uint64_t>(state.iterations());
+    if (chaos) {
+      cfg.faults.crashes.push_back({150.0, 120.0, 2});
+      cfg.faults.degradations.push_back({200.0, 150.0, 1, 0.5});
+      cfg.faults.dns_outages.push_back({180.0, 60.0});
+    }
+    experiment::Site site(cfg);
+    const experiment::RunResult r = site.run();
+    events += r.events_dispatched;
+    benchmark::DoNotOptimize(r.prob_below_098);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK_CAPTURE(BM_FullSiteFault, fault_free, false)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FullSiteFault, chaos, true)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -11,6 +11,8 @@
 ///   web/        heterogeneous Web servers, cluster presets, monitoring
 ///   core/       the paper's contribution: selection + TTL policies,
 ///               calibration, estimation, alarm feedback, factory
+///   fault/      scenario-driven failure injection (crash/degrade/pause
+///               windows, authoritative-DNS outage calendar)
 ///   dnscache/   name-server and client address caches
 ///   workload/   Zipf client population, sessions, dynamics
 ///   experiment/ configuration, full-site wiring, metrics, reporting
@@ -53,6 +55,11 @@
 #include "core/selection_policies.h"
 #include "core/selection_policy.h"
 #include "core/ttl_policy.h"
+
+// fault
+#include "fault/dns_outage.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_schedule.h"
 
 // dnscache
 #include "dnscache/client_cache.h"

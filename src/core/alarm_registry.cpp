@@ -10,6 +10,7 @@ AlarmRegistry::AlarmRegistry(int num_servers, double threshold, bool enabled,
       queue_threshold_(queue_threshold),
       enabled_(enabled),
       alarmed_(static_cast<std::size_t>(num_servers), false),
+      down_(static_cast<std::size_t>(num_servers), false),
       eligible_(static_cast<std::size_t>(num_servers), true) {
   if (num_servers <= 0) throw std::invalid_argument("AlarmRegistry: need >= 1 server");
   if (threshold <= 0.0 || threshold > 1.0) {
@@ -67,15 +68,29 @@ void AlarmRegistry::observe_full(sim::SimTime now, const std::vector<double>& ut
   if (changed) rebuild_eligible();
 }
 
+void AlarmRegistry::set_down(web::ServerId s, bool down) {
+  // Down marking bypasses the enabled_ gate on purpose: disabling the
+  // paper's utilization feedback must not make the DNS route to servers
+  // it knows are dead.
+  if (down_.at(static_cast<std::size_t>(s)) == down) return;
+  down_[static_cast<std::size_t>(s)] = down;
+  rebuild_eligible();
+}
+
 void AlarmRegistry::rebuild_eligible() {
   bool any = false;
+  bool any_up = false;
   for (std::size_t i = 0; i < alarmed_.size(); ++i) {
-    eligible_[i] = !alarmed_[i];
+    eligible_[i] = !alarmed_[i] && !down_[i];
     any = any || eligible_[i];
+    any_up = any_up || !down_[i];
   }
-  if (!any) {
-    // Everyone is overloaded: the DNS still has to answer address requests,
-    // so fall back to considering all servers.
+  if (!any && any_up) {
+    // Every up server is overloaded: the DNS still has to answer address
+    // requests, so fall back to considering all servers that are not down.
+    for (std::size_t i = 0; i < down_.size(); ++i) eligible_[i] = !down_[i];
+  } else if (!any) {
+    // The whole site is down; answers must still name someone.
     eligible_.assign(eligible_.size(), true);
   }
 }

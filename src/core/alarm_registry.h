@@ -37,6 +37,15 @@ class AlarmRegistry {
 
   bool is_alarmed(web::ServerId s) const { return alarmed_.at(static_cast<std::size_t>(s)); }
 
+  /// Marks a server down (crashed) or back up. Unlike the utilization
+  /// alarm — a *soft* overload hint fed by periodic reports — down is a
+  /// *hard* health fact (failed health checks / connection refusals), so
+  /// it works even when the alarm feedback is disabled and a down server
+  /// only re-enters the eligible set when every candidate is down (the
+  /// DNS must answer with something).
+  void set_down(web::ServerId s, bool down);
+  bool is_down(web::ServerId s) const { return down_.at(static_cast<std::size_t>(s)); }
+
   /// True for servers eligible to receive new mappings. If every server is
   /// alarmed the DNS must still answer, so all become eligible again.
   const std::vector<bool>& eligible() const { return eligible_; }
@@ -61,6 +70,7 @@ class AlarmRegistry {
   std::size_t queue_threshold_;
   bool enabled_;
   std::vector<bool> alarmed_;
+  std::vector<bool> down_;
   std::vector<bool> eligible_;
   std::uint64_t alarm_signals_ = 0;
   std::uint64_t normal_signals_ = 0;

@@ -20,6 +20,11 @@ AdaptiveTtlPolicy::AdaptiveTtlPolicy(const DomainModel& domains, std::vector<dou
       reference_ttl_(reference_ttl),
       calibrate_(calibrate) {
   if (capacities.empty()) throw std::invalid_argument("AdaptiveTtlPolicy: need >= 1 server");
+  // A zero capacity would put c_min at 0 and drive every g_s = C_s/C_N to
+  // infinity; a negative one flips TTL signs. Reject both outright.
+  for (double c : capacities) {
+    if (c <= 0) throw std::invalid_argument("AdaptiveTtlPolicy: capacities must be > 0");
+  }
   if (shares_.size() != capacities.size()) {
     throw std::invalid_argument("AdaptiveTtlPolicy: shares/capacity size mismatch");
   }

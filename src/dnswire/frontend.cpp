@@ -14,6 +14,15 @@ DnsFrontend::DnsFrontend(core::DnsScheduler& scheduler, std::string site_name,
   for (char& c : site_name_) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
 }
 
+void DnsFrontend::set_outages(const fault::DnsOutageCalendar* calendar,
+                              const sim::Simulator* clock) {
+  if ((calendar == nullptr) != (clock == nullptr)) {
+    throw std::invalid_argument("DnsFrontend: calendar and clock must be set together");
+  }
+  outages_ = calendar;
+  clock_ = clock;
+}
+
 std::vector<std::uint8_t> DnsFrontend::handle(const std::vector<std::uint8_t>& query,
                                               web::DomainId source_domain) {
   Header header;
@@ -41,6 +50,14 @@ std::vector<std::uint8_t> DnsFrontend::handle(const std::vector<std::uint8_t>& q
   if (question.qname != site_name_) {
     ++errors_;
     return encode_a_response(header, question, 0, 0, kRcodeNxDomain);
+  }
+
+  if (outages_ && outages_->unreachable(clock_->now())) {
+    // The question was valid — this is our outage, not the client's
+    // mistake. SERVFAIL tells the resolver to retry later; no scheduling
+    // decision is consumed (the scheduler is the thing that is down).
+    ++outage_failures_;
+    return encode_a_response(header, question, 0, 0, kRcodeServFail);
   }
 
   const core::Decision decision = scheduler_.schedule(source_domain);

@@ -6,6 +6,8 @@
 
 #include "core/scheduler.h"
 #include "dnswire/message.h"
+#include "fault/dns_outage.h"
+#include "sim/simulator.h"
 
 namespace adattl::dnswire {
 
@@ -35,15 +37,26 @@ class DnsFrontend {
   std::vector<std::uint8_t> handle(const std::vector<std::uint8_t>& query,
                                    web::DomainId source_domain);
 
+  /// Wires an outage calendar: while `calendar->unreachable(clock->now())`
+  /// the frontend answers SERVFAIL (without consuming a scheduling
+  /// decision) — the wire-level face of an authoritative-DNS outage.
+  /// Pass nulls to detach; both pointers must be set together.
+  void set_outages(const fault::DnsOutageCalendar* calendar, const sim::Simulator* clock);
+
   std::uint64_t answered() const { return answered_; }
   std::uint64_t refused() const { return errors_; }
+  /// Queries answered SERVFAIL because of a scheduled outage.
+  std::uint64_t outage_failures() const { return outage_failures_; }
 
  private:
   core::DnsScheduler& scheduler_;
   std::string site_name_;  // stored lower-cased
   std::vector<std::uint32_t> server_ipv4_;
+  const fault::DnsOutageCalendar* outages_ = nullptr;
+  const sim::Simulator* clock_ = nullptr;
   std::uint64_t answered_ = 0;
   std::uint64_t errors_ = 0;
+  std::uint64_t outage_failures_ = 0;
 };
 
 }  // namespace adattl::dnswire

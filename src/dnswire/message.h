@@ -44,6 +44,7 @@ inline constexpr std::uint16_t kClassIn = 1;
 
 inline constexpr std::uint8_t kRcodeNoError = 0;
 inline constexpr std::uint8_t kRcodeFormErr = 1;
+inline constexpr std::uint8_t kRcodeServFail = 2;
 inline constexpr std::uint8_t kRcodeNxDomain = 3;
 inline constexpr std::uint8_t kRcodeNotImp = 4;
 inline constexpr std::uint8_t kRcodeRefused = 5;

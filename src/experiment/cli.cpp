@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "experiment/scenario_file.h"
+#include "fault/fault_schedule.h"
 
 namespace adattl::experiment {
 namespace {
@@ -131,6 +132,19 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       outage.duration_sec = parse_double(flag, v.substr(c1 + 1, c2 - c1 - 1));
       outage.server = static_cast<int>(parse_long(flag, v.substr(c2 + 1)));
       opt.config.outages.push_back(outage);
+    } else if (flag == "--faults") {
+      // Whole fault file; merges with any inline fault flags.
+      opt.config.faults.merge(fault::load_fault_file(require_value()));
+    } else if (flag == "--crash") {
+      opt.config.faults.crashes.push_back(fault::FaultSchedule::parse_crash(require_value()));
+    } else if (flag == "--degrade") {
+      opt.config.faults.degradations.push_back(
+          fault::FaultSchedule::parse_degrade(require_value()));
+    } else if (flag == "--dns-outage") {
+      opt.config.faults.dns_outages.push_back(
+          fault::FaultSchedule::parse_dns_outage(require_value()));
+    } else if (flag == "--retry-delay") {
+      opt.config.client_retry_delay_sec = parse_double(flag, require_value());
     } else if (flag == "--no-calibration") {
       opt.config.calibrate_ttl = false;
     } else if (flag == "--measured") {
@@ -229,6 +243,11 @@ std::string cli_usage() {
          "  dynamics:   --shift=T:DOMAIN:FACTOR (repeatable flash crowd)\n"
          "              --outage=START:DURATION:SERVER (repeatable silent stall)\n"
          "              --queue-alarm=PAGES (alarm on backlog, detects outages)\n"
+         "  faults:     --faults=FILE (crash/degrade/pause/dns-outage lines)\n"
+         "              --crash=START:DURATION:SERVER (drop queue, reject)\n"
+         "              --degrade=START:DURATION:SERVER:FACTOR (scale C_i)\n"
+         "              --dns-outage=START:DURATION (authoritative DNS down;\n"
+         "              NSs back off and serve stale) --retry-delay=SEC\n"
          "  run:        --duration=SEC --warmup=SEC --seed=N --replications=R\n"
          "              --jobs=J (parallel workers; default ADATTL_JOBS or all\n"
          "              cores; 1 = serial; output is identical either way)\n"

@@ -34,6 +34,16 @@ void SimulationConfig::validate() const {
       throw std::invalid_argument("config: outage for unknown server");
     }
   }
+  faults.validate(cluster.size());
+  if (client_retry_delay_sec <= 0) {
+    throw std::invalid_argument("config: client retry delay must be > 0");
+  }
+  if (ns_retry_initial_backoff_sec <= 0) {
+    throw std::invalid_argument("config: NS retry backoff must be > 0");
+  }
+  if (ns_retry_max_backoff_sec < ns_retry_initial_backoff_sec) {
+    throw std::invalid_argument("config: NS max backoff must be >= initial");
+  }
   if (estimator_smoothing <= 0 || estimator_smoothing > 1) {
     throw std::invalid_argument("config: estimator smoothing must lie in (0, 1]");
   }

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "fault/fault_schedule.h"
 #include "web/cluster.h"
 #include "workload/client.h"
 #include "workload/think_time_model.h"
@@ -70,7 +71,19 @@ struct SimulationConfig {
   double monitor_interval_sec = 8.0;
 
   // ---- Failure injection ----
+  /// Legacy silent stalls (--outage). Kept distinct from `faults` for
+  /// backward compatibility; the Site merges them into the fault schedule
+  /// as pause windows.
   std::vector<ServerOutage> outages;
+  /// Scenario-driven fault plan: crashes, degradations, pauses and
+  /// authoritative-DNS outages (--faults=FILE or inline flags). An empty
+  /// schedule is bit-identical to no fault layer at all.
+  fault::FaultSchedule faults;
+  /// Client pause before retrying a failed page or resolution.
+  double client_retry_delay_sec = 1.0;
+  /// NS upstream retry backoff during DNS outages (capped exponential).
+  double ns_retry_initial_backoff_sec = 1.0;
+  double ns_retry_max_backoff_sec = 64.0;
 
   // ---- Server-side redirection (extension; the authors' follow-up
   // "second-level dispatching" mechanism) ----

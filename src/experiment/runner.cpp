@@ -239,6 +239,17 @@ std::string to_json(const SimulationConfig& config, const ReplicatedResult& resu
             result.ci([](const RunResult& r) { return r.response_p99_sec; }).mean);
   append_kv(out, "mean_network_rtt_sec",
             result.ci([](const RunResult& r) { return r.mean_network_rtt_sec; }).mean);
+  append_kv(out, "failed_requests",
+            result.ci([](const RunResult& r) { return static_cast<double>(r.failed_requests); })
+                .mean);
+  append_kv(out, "lost_pages",
+            result.ci([](const RunResult& r) { return static_cast<double>(r.lost_pages); }).mean);
+  append_kv(out, "lost_hits",
+            result.ci([](const RunResult& r) { return static_cast<double>(r.lost_hits); }).mean);
+  append_kv(out, "dns_outage_sec",
+            result.ci([](const RunResult& r) { return r.dns_outage_sec; }).mean);
+  append_kv(out, "unavailability_fraction",
+            result.ci([](const RunResult& r) { return r.unavailability_fraction; }).mean);
 
   out += "\"mean_server_utilization\":[";
   if (!result.runs.empty()) {

@@ -56,16 +56,17 @@ Site::Site(const SimulationConfig& config)
                                config_.geo_intra_rtt_sec, config_.geo_inter_rtt_sec));
   }
 
-  // Failure injection: silent stalls and recoveries.
+  // ---- Failure injection ----
+  // Legacy --outage windows fold into the schedule as pauses, *before* the
+  // scenario faults, so their events keep the insertion order (and thus
+  // the same-timestamp FIFO ties) the old inline loop produced.
+  fault::FaultSchedule schedule;
   for (const ServerOutage& outage : config_.outages) {
-    sim_.at(outage.start_sec, sim::assert_inline([this, s = outage.server] {
-              cluster_->server(s).set_paused(true);
-            }));
-    sim_.at(outage.start_sec + outage.duration_sec,
-            sim::assert_inline([this, s = outage.server] {
-              cluster_->server(s).set_paused(false);
-            }));
+    schedule.pauses.push_back(
+        fault::PauseWindow{outage.start_sec, outage.duration_sec, outage.server});
   }
+  schedule.merge(config_.faults);
+  fault_injector_ = std::make_unique<fault::FaultInjector>(sim_, *cluster_, schedule);
 
   // ---- Server-side dispatch (direct, or redirecting second level) ----
   if (config_.redirect_enabled) {
@@ -80,6 +81,9 @@ Site::Site(const SimulationConfig& config)
   alarms_ = std::make_unique<core::AlarmRegistry>(cluster_->size(), config_.alarm_threshold,
                                                   config_.alarm_enabled,
                                                   config_.alarm_queue_threshold);
+  // Crash events mark servers down in the registry (hard health facts,
+  // independent of the utilization alarms — works even with --no-alarm).
+  fault_injector_->set_alarm_registry(alarms_.get());
   core::SchedulerFactoryConfig fc;
   fc.capacities = cluster_->capacities();
   fc.initial_weights =
@@ -108,10 +112,19 @@ Site::Site(const SimulationConfig& config)
   ns_behavior.min_accepted_sec = config_.ns_min_ttl_sec;
   name_servers_.reserve(
       static_cast<std::size_t>(config_.num_domains) * config_.ns_per_domain);
+  dnscache::NsRetryPolicy ns_retry;
+  ns_retry.initial_backoff_sec = config_.ns_retry_initial_backoff_sec;
+  ns_retry.max_backoff_sec = config_.ns_retry_max_backoff_sec;
   for (int d = 0; d < config_.num_domains; ++d) {
     for (int m = 0; m < config_.ns_per_domain; ++m) {
       name_servers_.push_back(
           std::make_unique<dnscache::NameServer>(sim_, d, *bundle_.scheduler, ns_behavior));
+      // Only wire the outage calendar when windows exist: a NS without a
+      // calendar skips the unreachable check entirely (fault-free runs
+      // stay on the exact historical code path).
+      if (!fault_injector_->dns_calendar().empty()) {
+        name_servers_.back()->set_dns_outages(&fault_injector_->dns_calendar(), ns_retry);
+      }
     }
   }
 
@@ -133,7 +146,7 @@ Site::Site(const SimulationConfig& config)
       }
       clients_.push_back(std::make_unique<workload::Client>(
           sim_, *resolver, *dispatcher_, config_.session, *think_model_,
-          client_seeds.split(), geo_.get()));
+          client_seeds.split(), geo_.get(), config_.client_retry_delay_sec));
       // Staggered arrival over one think time keeps t = 0 from stampeding
       // the DNS with simultaneous resolutions.
       clients_.back()->start(stagger.uniform(0.0, config_.mean_think_sec));
@@ -161,6 +174,7 @@ Site::Site(const SimulationConfig& config)
     obs::EventTracer* tracer = event_tracer_.get();
     bundle_.scheduler->bind_observability(reg, tracer, &sim_);
     alarms_->bind_observability(reg, tracer);
+    fault_injector_->bind_observability(reg, tracer);
     for (auto& ns : name_servers_) ns->bind_observability(reg, tracer);
     for (int s = 0; s < cluster_->size(); ++s) {
       cluster_->server(s).bind_observability(reg, tracer);
@@ -264,6 +278,16 @@ RunResult Site::run() {
   r.alarm_signals = alarms_->alarm_signals() + alarms_->normal_signals();
   r.events_dispatched = sim_.events_dispatched();
 
+  // ---- Failure accounting ----
+  r.lost_pages = cluster_->total_lost_pages();
+  r.lost_hits = cluster_->total_lost_hits();
+  r.failed_requests = r.lost_pages + cluster_->total_rejected_pages();
+  r.dns_outage_sec = fault_injector_->dns_calendar().outage_seconds(horizon);
+  const double attempts =
+      static_cast<double>(r.failed_requests) + static_cast<double>(r.total_pages);
+  r.unavailability_fraction =
+      attempts > 0 ? static_cast<double>(r.failed_requests) / attempts : 0.0;
+
   if (metrics_registry_) {
     // Kernel health is tracked inside the event queue regardless of the
     // registry; surface it in the snapshot alongside the wired instruments.
@@ -274,6 +298,7 @@ RunResult Site::run() {
     metrics_registry_->gauge("kernel.cancels").set(static_cast<double>(sim_.cancels()));
     metrics_registry_->gauge("kernel.live_events_at_end")
         .set(static_cast<double>(sim_.pending()));
+    metrics_registry_->gauge("dns.outage_sec").set(r.dns_outage_sec);
     r.metrics = std::make_shared<const obs::MetricsSnapshot>(metrics_registry_->snapshot());
   }
 

@@ -11,6 +11,7 @@
 #include "dnscache/name_server.h"
 #include "experiment/config.h"
 #include "experiment/metrics.h"
+#include "fault/fault_injector.h"
 #include "obs/event_tracer.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
@@ -85,6 +86,19 @@ struct RunResult {
   std::uint64_t redirected_pages = 0;
   double redirected_fraction = 0.0;
 
+  // ---- Failure accounting (all 0 in fault-free runs) ----
+  /// Client-visible page failures: submissions rejected by a crashed
+  /// server plus pages dropped (queued or in flight) by a crash.
+  std::uint64_t failed_requests = 0;
+  /// Pages/hits dropped by crashes across all servers.
+  std::uint64_t lost_pages = 0;
+  std::uint64_t lost_hits = 0;
+  /// Seconds the authoritative DNS was unreachable within the horizon.
+  double dns_outage_sec = 0.0;
+  /// Failed page attempts over all page attempts (failed + requested);
+  /// the site-level unavailability a client population experienced.
+  double unavailability_fraction = 0.0;
+
   /// End-of-run metrics snapshot; null unless config.metrics_enabled.
   /// shared_ptr keeps RunResult cheaply copyable across sweep plumbing.
   std::shared_ptr<const obs::MetricsSnapshot> metrics;
@@ -127,6 +141,8 @@ class Site {
         static_cast<std::size_t>(d * config_.ns_per_domain + replica));
   }
   const SimulationConfig& config() const { return config_; }
+  /// The fault layer (always constructed; empty schedule = inert).
+  fault::FaultInjector& fault_injector() { return *fault_injector_; }
 
   /// Null unless config.metrics_enabled / config.trace_enabled.
   obs::MetricsRegistry* metrics_registry() { return metrics_registry_.get(); }
@@ -143,6 +159,7 @@ class Site {
   std::unique_ptr<workload::ThinkTimeModel> think_model_;
   std::shared_ptr<const geo::GeoModel> geo_;
   std::unique_ptr<web::Cluster> cluster_;
+  std::unique_ptr<fault::FaultInjector> fault_injector_;
   std::unique_ptr<web::PageDispatcher> dispatcher_;
   std::unique_ptr<core::AlarmRegistry> alarms_;
   core::SchedulerBundle bundle_;

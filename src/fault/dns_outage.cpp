@@ -1,0 +1,55 @@
+#include "fault/dns_outage.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace adattl::fault {
+
+DnsOutageCalendar::DnsOutageCalendar(std::vector<DnsOutageWindow> windows)
+    : windows_(std::move(windows)) {
+  for (const DnsOutageWindow& w : windows_) {
+    if (w.start_sec < 0.0 || w.duration_sec <= 0.0) {
+      throw std::invalid_argument("DnsOutageCalendar: bad outage window");
+    }
+  }
+  std::sort(windows_.begin(), windows_.end(),
+            [](const DnsOutageWindow& a, const DnsOutageWindow& b) {
+              return a.start_sec < b.start_sec;
+            });
+  // Merge overlapping or touching windows into disjoint intervals.
+  std::vector<DnsOutageWindow> merged;
+  for (const DnsOutageWindow& w : windows_) {
+    if (!merged.empty() &&
+        w.start_sec <= merged.back().start_sec + merged.back().duration_sec) {
+      const double end = std::max(merged.back().start_sec + merged.back().duration_sec,
+                                  w.start_sec + w.duration_sec);
+      merged.back().duration_sec = end - merged.back().start_sec;
+    } else {
+      merged.push_back(w);
+    }
+  }
+  windows_ = std::move(merged);
+}
+
+bool DnsOutageCalendar::unreachable(sim::SimTime now) const {
+  // First window starting after `now`; the candidate is its predecessor.
+  auto it = std::upper_bound(windows_.begin(), windows_.end(), now,
+                             [](sim::SimTime t, const DnsOutageWindow& w) {
+                               return t < w.start_sec;
+                             });
+  if (it == windows_.begin()) return false;
+  --it;
+  return now < it->start_sec + it->duration_sec;
+}
+
+double DnsOutageCalendar::outage_seconds(double horizon_sec) const {
+  double total = 0.0;
+  for (const DnsOutageWindow& w : windows_) {
+    const double begin = std::min(w.start_sec, horizon_sec);
+    const double end = std::min(w.start_sec + w.duration_sec, horizon_sec);
+    total += end - begin;
+  }
+  return total;
+}
+
+}  // namespace adattl::fault

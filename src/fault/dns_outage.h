@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "fault/fault_schedule.h"
+#include "sim/time.h"
+
+namespace adattl::fault {
+
+/// Read-only availability calendar of the authoritative DNS, built from a
+/// schedule's outage windows. Windows are normalized at construction
+/// (sorted by start, overlapping/adjacent ones merged), so lookups are a
+/// binary search over disjoint intervals and the answer is independent of
+/// the order the windows were declared in.
+///
+/// Interval semantics are half-open: the DNS is unreachable for
+/// `start <= t < start + duration`, so an event scheduled exactly at the
+/// recovery instant already sees a reachable DNS.
+class DnsOutageCalendar {
+ public:
+  DnsOutageCalendar() = default;
+  explicit DnsOutageCalendar(std::vector<DnsOutageWindow> windows);
+
+  bool empty() const { return windows_.empty(); }
+
+  /// True while the authoritative DNS cannot be reached.
+  bool unreachable(sim::SimTime now) const;
+
+  /// Total unreachable seconds within [0, horizon_sec].
+  double outage_seconds(double horizon_sec) const;
+
+  /// Normalized (sorted, disjoint) windows.
+  const std::vector<DnsOutageWindow>& windows() const { return windows_; }
+
+ private:
+  std::vector<DnsOutageWindow> windows_;
+};
+
+}  // namespace adattl::fault

@@ -1,0 +1,82 @@
+#include "fault/fault_injector.h"
+
+namespace adattl::fault {
+
+FaultInjector::FaultInjector(sim::Simulator& sim, web::Cluster& cluster,
+                             const FaultSchedule& schedule)
+    : sim_(sim),
+      cluster_(cluster),
+      schedule_(schedule),
+      dns_calendar_(schedule.dns_outages) {
+  schedule_.validate(cluster_.size());
+  schedule_events();
+}
+
+void FaultInjector::schedule_events() {
+  // Pauses first: a schedule holding only legacy --outage windows must
+  // insert its events in the order the old Site loop did, so ties at equal
+  // timestamps resolve identically (FIFO among equals).
+  for (const PauseWindow& w : schedule_.pauses) {
+    sim_.at(w.start_sec, sim::assert_inline([this, s = w.server] {
+              ++events_fired_;
+              obs_events_.inc();
+              cluster_.server(s).set_paused(true);
+            }));
+    sim_.at(w.start_sec + w.duration_sec, sim::assert_inline([this, s = w.server] {
+              ++events_fired_;
+              obs_events_.inc();
+              cluster_.server(s).set_paused(false);
+            }));
+  }
+  for (const CrashWindow& w : schedule_.crashes) {
+    sim_.at(w.start_sec, sim::assert_inline([this, s = w.server] {
+              ++events_fired_;
+              obs_events_.inc();
+              cluster_.server(s).set_crashed(true);
+              if (alarms_) alarms_->set_down(s, true);
+            }));
+    sim_.at(w.start_sec + w.duration_sec, sim::assert_inline([this, s = w.server] {
+              ++events_fired_;
+              obs_events_.inc();
+              cluster_.server(s).set_crashed(false);
+              if (alarms_) alarms_->set_down(s, false);
+            }));
+  }
+  for (const DegradeWindow& w : schedule_.degradations) {
+    sim_.at(w.start_sec, sim::assert_inline([this, s = w.server, f = w.factor] {
+              ++events_fired_;
+              obs_events_.inc();
+              cluster_.server(s).set_capacity_factor(f);
+            }));
+    sim_.at(w.start_sec + w.duration_sec, sim::assert_inline([this, s = w.server] {
+              ++events_fired_;
+              obs_events_.inc();
+              cluster_.server(s).set_capacity_factor(1.0);
+            }));
+  }
+  // Boundary markers for the (time-driven) DNS calendar: purely
+  // observational, but scheduled unconditionally so fault runs count them
+  // whether or not a tracer is attached later.
+  for (const DnsOutageWindow& w : dns_calendar_.windows()) {
+    sim_.at(w.start_sec, sim::assert_inline([this, d = w.duration_sec] {
+              ++events_fired_;
+              obs_events_.inc();
+              if (tracer_) {
+                tracer_->record(sim_.now(), obs::TraceKind::kDnsOutageStart, 0, 0, d);
+              }
+            }));
+    sim_.at(w.start_sec + w.duration_sec, sim::assert_inline([this] {
+              ++events_fired_;
+              obs_events_.inc();
+              if (tracer_) tracer_->record(sim_.now(), obs::TraceKind::kDnsOutageEnd);
+            }));
+  }
+}
+
+void FaultInjector::bind_observability(obs::MetricsRegistry* registry,
+                                       obs::EventTracer* tracer) {
+  tracer_ = tracer;
+  if (registry) obs_events_ = registry->counter("fault.events");
+}
+
+}  // namespace adattl::fault

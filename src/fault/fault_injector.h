@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/alarm_registry.h"
+#include "fault/dns_outage.h"
+#include "fault/fault_schedule.h"
+#include "obs/event_tracer.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+#include "web/cluster.h"
+
+namespace adattl::fault {
+
+/// Wires a FaultSchedule into a live site: every window becomes a pair of
+/// simulator events fixed at construction time, so a run's fault sequence
+/// is part of its deterministic event plan (replications reproduce it
+/// exactly, and an empty schedule schedules nothing at all — bit-identical
+/// to a site without an injector).
+///
+/// Responsibilities per fault kind:
+///   crash    -> WebServer::set_crashed (drop queue + in-flight, reject
+///               submissions) and AlarmRegistry::set_down (the DNS's
+///               health checks see a crash, unlike a silent pause, so the
+///               server leaves the eligible set immediately and is
+///               re-admitted on recovery);
+///   degrade  -> WebServer::set_capacity_factor (the DNS is NOT told — its
+///               policies keep the nominal C_i, so only the alarm feedback
+///               can react);
+///   pause    -> WebServer::set_paused (the legacy silent stall);
+///   dns-outage -> exposed as a DnsOutageCalendar for the name servers
+///               (stale-serve + backoff) and traced at the boundaries.
+class FaultInjector {
+ public:
+  /// Validates `schedule` against the cluster size and schedules every
+  /// window's start/end events. Pause events are scheduled first so a
+  /// schedule holding only legacy outages reproduces the historical event
+  /// insertion order exactly.
+  FaultInjector(sim::Simulator& sim, web::Cluster& cluster, const FaultSchedule& schedule);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Attaches the DNS-side down marking. The registry is built after the
+  /// injector in the Site wiring order, so it arrives late; crash events
+  /// read it at fire time. Null (the default) means no DNS feedback —
+  /// crashed servers stay in the selection set and simply reject.
+  void set_alarm_registry(core::AlarmRegistry* alarms) { alarms_ = alarms; }
+
+  const FaultSchedule& schedule() const { return schedule_; }
+  const DnsOutageCalendar& dns_calendar() const { return dns_calendar_; }
+
+  /// Fault events fired so far (window starts + ends of every kind).
+  std::uint64_t events_fired() const { return events_fired_; }
+
+  /// Registers the "fault.events" counter and wires dns-outage boundary
+  /// trace records (either argument may be null). The "dns.outage_sec"
+  /// gauge is set by the Site at end of run (it needs the horizon).
+  void bind_observability(obs::MetricsRegistry* registry, obs::EventTracer* tracer);
+
+ private:
+  void schedule_events();
+
+  sim::Simulator& sim_;
+  web::Cluster& cluster_;
+  core::AlarmRegistry* alarms_ = nullptr;
+  FaultSchedule schedule_;
+  DnsOutageCalendar dns_calendar_;
+  std::uint64_t events_fired_ = 0;
+  obs::Counter obs_events_;
+  obs::EventTracer* tracer_ = nullptr;
+};
+
+}  // namespace adattl::fault

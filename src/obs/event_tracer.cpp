@@ -14,6 +14,13 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::kServerPause: return "server_pause";
     case TraceKind::kServerResume: return "server_resume";
     case TraceKind::kEstimatorUpdate: return "estimator_update";
+    case TraceKind::kServerCrash: return "server_crash";
+    case TraceKind::kServerRecover: return "server_recover";
+    case TraceKind::kCapacityScale: return "capacity_scale";
+    case TraceKind::kDnsOutageStart: return "dns_outage_start";
+    case TraceKind::kDnsOutageEnd: return "dns_outage_end";
+    case TraceKind::kStaleServe: return "stale_serve";
+    case TraceKind::kRequestFailed: return "request_failed";
   }
   return "?";
 }
@@ -31,6 +38,13 @@ int chrome_tid(TraceKind kind) {
     case TraceKind::kServerPause:
     case TraceKind::kServerResume: return 3;
     case TraceKind::kEstimatorUpdate: return 4;
+    case TraceKind::kServerCrash:
+    case TraceKind::kServerRecover:
+    case TraceKind::kCapacityScale:
+    case TraceKind::kRequestFailed: return 3;
+    case TraceKind::kStaleServe: return 2;
+    case TraceKind::kDnsOutageStart:
+    case TraceKind::kDnsOutageEnd: return 5;
   }
   return 9;
 }
@@ -42,6 +56,7 @@ const char* chrome_track_name(int tid) {
     case 2: return "name servers";
     case 3: return "web servers";
     case 4: return "estimator";
+    case 5: return "faults";
   }
   return "other";
 }
@@ -83,7 +98,7 @@ std::string EventTracer::to_chrome_json() const {
   char buf[256];
   bool first = true;
   // Track-naming metadata events, one per layer.
-  for (int tid = 0; tid <= 4; ++tid) {
+  for (int tid = 0; tid <= 5; ++tid) {
     std::snprintf(buf, sizeof(buf),
                   "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,"
                   "\"args\":{\"name\":\"%s\"}}",

@@ -18,6 +18,13 @@ namespace adattl::obs {
 ///   kServerPause   a=server
 ///   kServerResume  a=server
 ///   kEstimatorUpdate a=windows_observed
+///   kServerCrash   a=server  b=lost_pages  value=lost_hits
+///   kServerRecover a=server
+///   kCapacityScale a=server            value=factor
+///   kDnsOutageStart                    value=duration_sec
+///   kDnsOutageEnd
+///   kStaleServe    a=domain  b=server
+///   kRequestFailed a=domain  b=server
 enum class TraceKind : std::uint8_t {
   kDecision = 0,
   kAlarm,
@@ -26,6 +33,13 @@ enum class TraceKind : std::uint8_t {
   kServerPause,
   kServerResume,
   kEstimatorUpdate,
+  kServerCrash,
+  kServerRecover,
+  kCapacityScale,
+  kDnsOutageStart,
+  kDnsOutageEnd,
+  kStaleServe,
+  kRequestFailed,
 };
 
 /// Short stable name ("decision", "alarm", ...), used by both exporters.

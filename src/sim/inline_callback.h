@@ -26,10 +26,11 @@ namespace adattl::sim {
 /// event heap's sift loops rely on for cheap entry motion.
 class InlineCallback {
  public:
-  /// Inline capture budget in bytes. 56 = sizeof the redirecting
+  /// Inline capture budget in bytes. 88 = sizeof the redirecting
   /// dispatcher's capture (`this` + ServerId + PageRequest with its
-  /// std::function completion), the largest closure the kernel schedules.
-  static constexpr std::size_t kInlineSize = 56;
+  /// std::function completion and failure callbacks), the largest closure
+  /// the kernel schedules.
+  static constexpr std::size_t kInlineSize = 88;
   static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
 
   /// True if a callable of type F is stored inline (no heap allocation).

@@ -71,6 +71,24 @@ ClusterSpec table2_cluster(int level_percent) {
 
 std::vector<int> table2_levels() { return {0, 20, 35, 50, 65}; }
 
+std::uint64_t Cluster::total_lost_pages() const {
+  std::uint64_t total = 0;
+  for (const auto& s : servers_) total += s->lost_pages();
+  return total;
+}
+
+std::uint64_t Cluster::total_lost_hits() const {
+  std::uint64_t total = 0;
+  for (const auto& s : servers_) total += s->lost_hits();
+  return total;
+}
+
+std::uint64_t Cluster::total_rejected_pages() const {
+  std::uint64_t total = 0;
+  for (const auto& s : servers_) total += s->rejected_pages();
+  return total;
+}
+
 Cluster::Cluster(sim::Simulator& sim, const ClusterSpec& spec, int num_domains,
                  sim::RngStream& seed_source)
     : spec_(spec), capacities_(spec.absolute_capacities()) {

@@ -61,6 +61,11 @@ class Cluster {
   /// Capacities C_i, index == ServerId.
   const std::vector<double>& capacities() const { return capacities_; }
 
+  // Site-wide lost-work totals (crash accounting across all servers).
+  std::uint64_t total_lost_pages() const;
+  std::uint64_t total_lost_hits() const;
+  std::uint64_t total_rejected_pages() const;
+
  private:
   ClusterSpec spec_;
   std::vector<double> capacities_;

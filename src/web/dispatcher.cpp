@@ -27,11 +27,14 @@ double RedirectingDispatcher::backlog_sec(ServerId s) const {
 }
 
 ServerId RedirectingDispatcher::least_loaded() const {
-  ServerId best = 0;
-  double best_backlog = backlog_sec(0);
-  for (int s = 1; s < cluster_.size(); ++s) {
+  // Crashed peers are skipped — a live server never forwards to one it
+  // knows is dead (their empty queues would otherwise always win).
+  ServerId best = -1;
+  double best_backlog = 0.0;
+  for (int s = 0; s < cluster_.size(); ++s) {
+    if (cluster_.server(s).crashed()) continue;
     const double b = backlog_sec(s);
-    if (b < best_backlog) {
+    if (best < 0 || b < best_backlog) {
       best = s;
       best_backlog = b;
     }
@@ -41,8 +44,8 @@ ServerId RedirectingDispatcher::least_loaded() const {
 
 void RedirectingDispatcher::dispatch(ServerId target, PageRequest request) {
   if (backlog_sec(target) > max_wait_sec_) {
-    const ServerId alternative = least_loaded();
-    if (alternative != target) {
+    const ServerId alternative = least_loaded();  // -1 when every server is down
+    if (alternative >= 0 && alternative != target) {
       ++redirects_;
       // One extra hop; never redirected again (the alternative queues it
       // whatever its state — no ping-pong).

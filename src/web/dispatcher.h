@@ -59,6 +59,7 @@ class RedirectingDispatcher : public PageDispatcher {
   double backlog_sec(ServerId s) const;
 
  private:
+  /// Least-backlog non-crashed server, or -1 when the whole site is down.
   ServerId least_loaded() const;
 
   sim::Simulator& sim_;

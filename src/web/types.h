@@ -20,6 +20,17 @@ struct PageRequest {
   int hits = 1;
   /// Invoked when the last hit of the page has been served.
   std::function<void()> on_complete;
+  /// Invoked instead of on_complete when the page is lost: the target
+  /// server rejects the submission (crashed) or drops the page mid-service
+  /// (crash while queued or in flight). Null = the loss is silent (the
+  /// server-side counters still record it). Callbacks must not resubmit
+  /// synchronously; schedule a retry through the simulator.
+  std::function<void()> on_fail;
+
+  PageRequest() = default;
+  PageRequest(DomainId d, int h, std::function<void()> complete = nullptr,
+              std::function<void()> fail = nullptr)
+      : domain(d), hits(h), on_complete(std::move(complete)), on_fail(std::move(fail)) {}
 };
 
 }  // namespace adattl::web

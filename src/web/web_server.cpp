@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <string>
 #include <utility>
+#include <vector>
 
 namespace adattl::web {
 
@@ -23,13 +24,23 @@ void WebServer::submit_page(PageRequest req) {
   const auto d = static_cast<std::size_t>(req.domain);
   if (d >= window_hits_.size()) throw std::out_of_range("WebServer: unknown domain");
 
+  if (crashed_) {
+    // A crashed server never sees the demand: no hit accounting, so the
+    // estimator cannot attribute hidden load to a dead server.
+    ++rejected_pages_;
+    obs_failed_.inc();
+    if (tracer_) tracer_->record(sim_.now(), obs::TraceKind::kRequestFailed, req.domain, id_);
+    if (req.on_fail) req.on_fail();
+    return;
+  }
+
   // Load is accounted at arrival: this is when the mapping decision made by
   // the DNS manifests as demand on this server.
   window_hits_[d] += static_cast<std::uint64_t>(req.hits);
   lifetime_hits_[d] += static_cast<std::uint64_t>(req.hits);
 
   queue_.push_back(Job{std::move(req), sim_.now()});
-  obs_queue_depth_.set(static_cast<double>(queue_length()));
+  update_queue_gauge();
   if (!busy_ && !paused_) start_next();
 }
 
@@ -40,7 +51,59 @@ void WebServer::set_paused(bool paused) {
                     id_);
   }
   paused_ = paused;
-  if (!paused_ && !busy_ && !queue_.empty()) start_next();
+  if (!paused_ && !crashed_ && !busy_ && !queue_.empty()) start_next();
+}
+
+void WebServer::set_crashed(bool crashed) {
+  if (crashed == crashed_) return;
+  crashed_ = crashed;
+  if (!crashed_) {
+    // Recovery: the server comes back empty and idle; service restarts
+    // when new pages arrive.
+    if (tracer_) tracer_->record(sim_.now(), obs::TraceKind::kServerRecover, id_);
+    return;
+  }
+
+  // Collect victims first so every callback sees fully consistent state.
+  std::vector<std::function<void()>> failed;
+  std::uint64_t crash_pages = 0;
+  std::uint64_t crash_hits = 0;
+  if (busy_) {
+    sim_.cancel(service_event_);
+    // The seconds already burned on the dropped page were real work.
+    closed_busy_time_ += sim_.now() - service_start_;
+    busy_ = false;
+    ++crash_pages;
+    crash_hits += static_cast<std::uint64_t>(current_.req.hits);
+    if (current_.req.on_fail) failed.push_back(std::move(current_.req.on_fail));
+    current_ = Job{};
+  }
+  for (Job& job : queue_) {
+    ++crash_pages;
+    crash_hits += static_cast<std::uint64_t>(job.req.hits);
+    if (job.req.on_fail) failed.push_back(std::move(job.req.on_fail));
+  }
+  queue_.clear();
+
+  lost_pages_ += crash_pages;
+  lost_hits_ += crash_hits;
+  obs_lost_pages_.inc(crash_pages);
+  obs_lost_hits_.inc(crash_hits);
+  obs_failed_.inc(crash_pages);
+  obs_busy_sec_.set(closed_busy_time_);
+  update_queue_gauge();
+  if (tracer_) {
+    tracer_->record(sim_.now(), obs::TraceKind::kServerCrash, id_,
+                    static_cast<std::int32_t>(crash_pages),
+                    static_cast<double>(crash_hits));
+  }
+  for (auto& cb : failed) cb();
+}
+
+void WebServer::set_capacity_factor(double factor) {
+  if (factor <= 0.0) throw std::invalid_argument("WebServer: capacity factor must be > 0");
+  capacity_factor_ = factor;
+  if (tracer_) tracer_->record(sim_.now(), obs::TraceKind::kCapacityScale, id_, 0, factor);
 }
 
 void WebServer::start_next() {
@@ -49,9 +112,9 @@ void WebServer::start_next() {
   busy_ = true;
   service_start_ = sim_.now();
   const int h = current_.req.hits;
-  const double service = rng_.erlang(h, static_cast<double>(h) / capacity_);
+  const double service = rng_.erlang(h, static_cast<double>(h) / effective_capacity());
   service_end_ = service_start_ + service;
-  sim_.at(service_end_, sim::assert_inline([this] { finish_current(); }));
+  service_event_ = sim_.at(service_end_, sim::assert_inline([this] { finish_current(); }));
 }
 
 void WebServer::finish_current() {
@@ -66,12 +129,12 @@ void WebServer::finish_current() {
   obs_pages_.inc();
   obs_hits_.inc(static_cast<std::uint64_t>(current_.req.hits));
   obs_busy_sec_.set(closed_busy_time_);
-  obs_queue_depth_.set(static_cast<double>(queue_.size()));
 
   // Detach the completion callback before dequeueing the next job so a
   // callback that immediately submits another page sees consistent state.
   auto done = std::move(current_.req.on_complete);
   if (!queue_.empty() && !paused_) start_next();
+  update_queue_gauge();
   if (done) done();
 }
 
@@ -87,8 +150,13 @@ void WebServer::bind_observability(obs::MetricsRegistry* registry, obs::EventTra
     const std::string prefix = "server." + std::to_string(id_) + ".";
     obs_pages_ = registry->counter(prefix + "pages_completed");
     obs_hits_ = registry->counter(prefix + "hits_completed");
+    obs_lost_pages_ = registry->counter(prefix + "lost_pages");
+    obs_lost_hits_ = registry->counter(prefix + "lost_hits");
     obs_queue_depth_ = registry->gauge(prefix + "queue_depth");
     obs_busy_sec_ = registry->gauge(prefix + "busy_sec");
+    // Shared cell: every server increments the same site-wide total of
+    // client-visible failures (rejected submissions + crash-dropped pages).
+    obs_failed_ = registry->counter("site.failed_requests");
   }
 }
 

@@ -21,6 +21,17 @@ namespace adattl::web {
 /// one event instead of h. The server keeps the accounting the DNS
 /// algorithms need: cumulative busy time (for interval utilization) and
 /// per-domain hit counts (the raw material of hidden-load estimation).
+///
+/// Failure states (see fault::FaultInjector):
+///   paused  — silent stall: accepts and queues, serves nothing; queued
+///             work survives and drains on resume.
+///   crashed — hard failure: the queue and the in-flight page are dropped
+///             (lost-work accounting below) and submissions are rejected
+///             until recovery; the server restarts empty and idle.
+///   degraded — capacity scaled by a factor; affects services started
+///             after the change (the in-flight interval keeps its rate).
+/// Pause and crash are orthogonal flags; a server that crashes while
+/// paused stays paused on recovery.
 class WebServer {
  public:
   WebServer(sim::Simulator& sim, ServerId id, double capacity_hits_per_sec,
@@ -32,7 +43,10 @@ class WebServer {
   ServerId id() const { return id_; }
   double capacity() const { return capacity_; }
 
-  /// Enqueues a page; its completion callback fires when all hits are served.
+  /// Enqueues a page; its completion callback fires when all hits are
+  /// served. While crashed the page is rejected instead: the lost-work
+  /// counters grow, `on_fail` fires (if set), and nothing — not even the
+  /// per-domain hit accounting — records the page as demand.
   void submit_page(PageRequest req);
 
   /// Pauses/resumes service (outage injection). A paused server keeps
@@ -44,11 +58,28 @@ class WebServer {
   void set_paused(bool paused);
   bool paused() const { return paused_; }
 
+  /// Crashes/recovers the server. Crashing cancels the in-flight service
+  /// (its partial busy time is kept — the work really was performed),
+  /// drops the whole queue, and fires each victim's `on_fail` after the
+  /// server state is consistent. Recovery restarts service only when new
+  /// pages arrive. Idempotent in both directions.
+  void set_crashed(bool crashed);
+  bool crashed() const { return crashed_; }
+
+  /// Scales capacity by `factor` (> 0; 1.0 restores nominal). Services
+  /// started after the call run at capacity() * factor; the in-flight
+  /// interval is not rescaled.
+  void set_capacity_factor(double factor);
+  double capacity_factor() const { return capacity_factor_; }
+  double effective_capacity() const { return capacity_ * capacity_factor_; }
+
   /// Total busy seconds since construction, up to `now` (includes the
   /// in-progress service prorated to `now`).
   double cumulative_busy_time(sim::SimTime now) const;
 
-  /// Pages waiting or in service.
+  /// Pages waiting or in service. This is the queue-depth convention used
+  /// everywhere (monitor reports, the "server.<id>.queue_depth" gauge):
+  /// the in-service page counts as queued work.
   std::size_t queue_length() const { return queue_.size() + (busy_ ? 1 : 0); }
 
   /// Per-domain hit counts accumulated since the last drain; drains them.
@@ -62,6 +93,14 @@ class WebServer {
   std::uint64_t pages_served() const { return pages_served_; }
   std::uint64_t hits_served() const { return hits_served_; }
 
+  /// Pages/hits dropped by crashes (queued or in flight when the server
+  /// went down). Hits count the victims' full bursts even when the
+  /// in-flight page was partially served.
+  std::uint64_t lost_pages() const { return lost_pages_; }
+  std::uint64_t lost_hits() const { return lost_hits_; }
+  /// Submissions rejected while crashed.
+  std::uint64_t rejected_pages() const { return rejected_pages_; }
+
   /// Page response time (queueing + service) statistics.
   const sim::RunningStat& response_time() const { return response_time_; }
 
@@ -70,8 +109,11 @@ class WebServer {
   const sim::Histogram& response_histogram() const { return response_hist_; }
 
   /// Registers per-server instruments ("server.<id>.pages_completed",
-  /// "server.<id>.hits_completed", queue-depth and busy-seconds gauges)
-  /// and wires pause/resume trace records (either argument may be null).
+  /// "server.<id>.hits_completed", queue-depth and busy-seconds gauges,
+  /// "server.<id>.lost_pages"/"lost_hits" crash counters) plus the
+  /// site-wide "site.failed_requests" aggregate (shared cell across
+  /// servers), and wires pause/crash trace records (either argument may
+  /// be null).
   void bind_observability(obs::MetricsRegistry* registry, obs::EventTracer* tracer);
 
  private:
@@ -82,6 +124,7 @@ class WebServer {
 
   void start_next();
   void finish_current();
+  void update_queue_gauge() { obs_queue_depth_.set(static_cast<double>(queue_length())); }
 
   sim::Simulator& sim_;
   ServerId id_;
@@ -91,9 +134,12 @@ class WebServer {
   std::deque<Job> queue_;
   bool busy_ = false;
   bool paused_ = false;
+  bool crashed_ = false;
+  double capacity_factor_ = 1.0;
   Job current_{};
   sim::SimTime service_start_ = 0.0;
   sim::SimTime service_end_ = 0.0;
+  sim::EventHandle service_event_;
 
   double closed_busy_time_ = 0.0;
 
@@ -101,11 +147,17 @@ class WebServer {
   std::vector<std::uint64_t> lifetime_hits_;  // never reset
   std::uint64_t pages_served_ = 0;
   std::uint64_t hits_served_ = 0;
+  std::uint64_t lost_pages_ = 0;
+  std::uint64_t lost_hits_ = 0;
+  std::uint64_t rejected_pages_ = 0;
   sim::RunningStat response_time_;
   sim::Histogram response_hist_{30.0, 3000};
 
   obs::Counter obs_pages_;
   obs::Counter obs_hits_;
+  obs::Counter obs_lost_pages_;
+  obs::Counter obs_lost_hits_;
+  obs::Counter obs_failed_;  // aggregate "site.failed_requests"
   obs::Gauge obs_queue_depth_;
   obs::Gauge obs_busy_sec_;
   obs::EventTracer* tracer_ = nullptr;

@@ -59,15 +59,19 @@ double SessionProfile::mean_hits_per_page() const {
 
 Client::Client(sim::Simulator& sim, dnscache::Resolver& ns, web::PageDispatcher& dispatcher,
                const SessionProfile& profile, const ThinkTimeModel& think, sim::RngStream rng,
-               const geo::GeoModel* geo)
+               const geo::GeoModel* geo, double retry_delay_sec)
     : sim_(sim),
       ns_(ns),
       dispatcher_(dispatcher),
       profile_(profile),
       think_(think),
       rng_(rng),
-      geo_(geo) {
+      geo_(geo),
+      retry_delay_sec_(retry_delay_sec) {
   profile_.validate();
+  if (retry_delay_sec <= 0.0) {
+    throw std::invalid_argument("Client: retry delay must be > 0");
+  }
   if (ns.domain() < 0 || ns.domain() >= think.num_domains()) {
     throw std::invalid_argument("Client: resolver domain outside think-time model");
   }
@@ -81,8 +85,15 @@ void Client::start(double initial_delay) {
 }
 
 void Client::begin_session() {
-  ++sessions_;
   mapped_server_ = ns_.resolve();
+  if (mapped_server_ < 0) {
+    // DNS outage against a cold NS cache: nothing to stale-serve. The
+    // session has not started — try again shortly.
+    ++resolution_failures_;
+    sim_.after(retry_delay_sec_, sim::assert_inline([this] { begin_session(); }));
+    return;
+  }
+  ++sessions_;
   pages_left_ = rng_.geometric_min1(profile_.mean_pages_per_session);
   request_page();
 }
@@ -90,13 +101,19 @@ void Client::begin_session() {
 void Client::request_page() {
   ++pages_;
   --pages_left_;
-  const int hits = profile_.sample_hits(rng_);
+  pending_hits_ = profile_.sample_hits(rng_);
+  dispatch_current();
+}
+
+void Client::dispatch_current() {
   // One geo lookup per page: the mapping cannot change between the request
   // and reply legs, so on_server_complete() reuses the cached value.
   page_rtt_ = geo_ ? geo_->rtt(ns_.domain(), mapped_server_) : 0.0;
-  auto deliver = sim::assert_inline([this, hits] {
+  auto deliver = sim::assert_inline([this] {
     dispatcher_.dispatch(mapped_server_,
-                         web::PageRequest{ns_.domain(), hits, [this] { on_server_complete(); }});
+                         web::PageRequest{ns_.domain(), pending_hits_,
+                                          [this] { on_server_complete(); },
+                                          [this] { on_page_failed(); }});
   });
   if (page_rtt_ > 0.0) {
     network_time_ += page_rtt_;
@@ -121,6 +138,27 @@ void Client::on_page_complete() {
   } else {
     sim_.after(think, sim::assert_inline([this] { begin_session(); }));
   }
+}
+
+void Client::on_page_failed() {
+  // Called from inside the server's crash/reject path — never resubmit
+  // synchronously; the retry is a fresh simulator event.
+  ++pages_failed_;
+  sim_.after(retry_delay_sec_, sim::assert_inline([this] { retry_page(); }));
+}
+
+void Client::retry_page() {
+  // The mapping that failed may point at a dead server; re-resolve first
+  // (the NS or the DNS may know better by now), then re-issue the *same*
+  // page. During a DNS outage with nothing cached this loops on the
+  // resolution until either recovers.
+  mapped_server_ = ns_.resolve();
+  if (mapped_server_ < 0) {
+    ++resolution_failures_;
+    sim_.after(retry_delay_sec_, sim::assert_inline([this] { retry_page(); }));
+    return;
+  }
+  dispatch_current();
 }
 
 }  // namespace adattl::workload

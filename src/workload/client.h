@@ -56,9 +56,11 @@ class Client {
   /// `geo` (optional) adds network round-trip time to every page: the
   /// request travels rtt/2 before reaching the server and the reply
   /// travels rtt/2 back, so client-perceived response = rtt + server time.
+  /// `retry_delay_sec` is the pause before retrying a failed page or
+  /// resolution (failures only occur under fault injection).
   Client(sim::Simulator& sim, dnscache::Resolver& ns, web::PageDispatcher& dispatcher,
          const SessionProfile& profile, const ThinkTimeModel& think, sim::RngStream rng,
-         const geo::GeoModel* geo = nullptr);
+         const geo::GeoModel* geo = nullptr, double retry_delay_sec = 1.0);
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
@@ -70,6 +72,14 @@ class Client {
   std::uint64_t sessions_started() const { return sessions_; }
   std::uint64_t pages_requested() const { return pages_; }
 
+  /// Page attempts that came back failed (crashed server); each is
+  /// retried after retry_delay_sec with a fresh resolution, so one page
+  /// can fail several times during a long outage.
+  std::uint64_t pages_failed() const { return pages_failed_; }
+  /// Resolutions that produced no server at all (cold NS cache during a
+  /// DNS outage); retried like failed pages.
+  std::uint64_t resolution_failures() const { return resolution_failures_; }
+
   /// Total network round-trip seconds this client's pages spent in flight
   /// (0 without a geo model).
   double network_time_sec() const { return network_time_; }
@@ -77,8 +87,11 @@ class Client {
  private:
   void begin_session();
   void request_page();
+  void dispatch_current();
   void on_server_complete();
   void on_page_complete();
+  void on_page_failed();
+  void retry_page();
 
   sim::Simulator& sim_;
   dnscache::Resolver& ns_;
@@ -87,6 +100,7 @@ class Client {
   const ThinkTimeModel& think_;
   sim::RngStream rng_;
   const geo::GeoModel* geo_;
+  double retry_delay_sec_;
   double network_time_ = 0.0;
   /// RTT of the page in flight, looked up once per page (request leg) and
   /// reused for the reply leg — the mapping is fixed for the page's lifetime.
@@ -94,8 +108,13 @@ class Client {
 
   web::ServerId mapped_server_ = -1;
   int pages_left_ = 0;
+  /// Hit count of the page in flight, kept so a failed page retries with
+  /// the *same* size (a retry is the same page, not a new sample).
+  int pending_hits_ = 0;
   std::uint64_t sessions_ = 0;
   std::uint64_t pages_ = 0;
+  std::uint64_t pages_failed_ = 0;
+  std::uint64_t resolution_failures_ = 0;
 };
 
 }  // namespace adattl::workload

@@ -1,5 +1,6 @@
-// Failure-injection suite: silent server stalls, queue-threshold alarms,
-// and their end-to-end interaction with the DNS feedback loop.
+// Failure-injection suite: silent server stalls, hard crashes, capacity
+// degradations and authoritative-DNS outages, queue-threshold alarms, and
+// their end-to-end interaction with the DNS feedback loop.
 #include <gtest/gtest.h>
 
 #include "experiment/cli.h"
@@ -126,6 +127,170 @@ TEST(OutageConfig, Validation) {
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
   cfg.outages = {{10.0, 5.0, 3}};
   EXPECT_NO_THROW(cfg.validate());
+}
+
+// --- Crash / degrade / DNS-outage integration ------------------------------
+
+experiment::SimulationConfig crash_config() {
+  experiment::SimulationConfig cfg;
+  cfg.cluster = web::table2_cluster(20);
+  cfg.policy = "DRR2-TTL/S_K";
+  cfg.warmup_sec = 100.0;
+  cfg.duration_sec = 2000.0;
+  cfg.seed = 77;
+  // Server 2 crashes hard for 10 minutes mid-run.
+  cfg.faults.crashes.push_back({600.0, 600.0, 2});
+  return cfg;
+}
+
+TEST(CrashIntegration, LegacyOutageFlagEqualsPauseWindow) {
+  // The legacy --outage path now routes through the fault injector; a
+  // schedule declaring the same window as a pause must reproduce the run
+  // bit-for-bit (same events, same RNG draws, same results).
+  experiment::SimulationConfig legacy = outage_config();
+  experiment::SimulationConfig modern = outage_config();
+  modern.outages.clear();
+  modern.faults.pauses.push_back({600.0, 600.0, 2});
+  const experiment::RunResult a = experiment::Site(legacy).run();
+  const experiment::RunResult b = experiment::Site(modern).run();
+  EXPECT_EQ(a.total_pages, b.total_pages);
+  EXPECT_EQ(a.total_hits, b.total_hits);
+  EXPECT_EQ(a.events_dispatched, b.events_dispatched);
+  EXPECT_EQ(a.authoritative_queries, b.authoritative_queries);
+  EXPECT_DOUBLE_EQ(a.mean_page_response_sec, b.mean_page_response_sec);
+  EXPECT_DOUBLE_EQ(a.mean_max_utilization, b.mean_max_utilization);
+}
+
+TEST(CrashIntegration, CrashLosesWorkAndClientsFeelIt) {
+  experiment::SimulationConfig healthy = crash_config();
+  healthy.faults.crashes.clear();
+  const experiment::RunResult base = experiment::Site(healthy).run();
+  const experiment::RunResult hit = experiment::Site(crash_config()).run();
+  // A crash is visible: submissions bounce until cached mappings expire,
+  // so clients record failed requests the fault-free run cannot have.
+  EXPECT_EQ(base.failed_requests, 0u);
+  EXPECT_EQ(base.lost_pages, 0u);
+  EXPECT_GT(hit.failed_requests, 0u);
+  EXPECT_GE(hit.failed_requests, hit.lost_pages);
+  EXPECT_GT(hit.unavailability_fraction, 0.0);
+  EXPECT_LT(hit.unavailability_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(base.unavailability_fraction, 0.0);
+}
+
+TEST(CrashIntegration, ServerRecoversAndServesAgain) {
+  experiment::Site site(crash_config());
+  const experiment::RunResult r = site.run();
+  EXPECT_FALSE(site.cluster().server(2).crashed());
+  EXPECT_GT(site.cluster().server(2).pages_served(), 0u);
+  EXPECT_GT(r.total_hits, 0u);
+}
+
+TEST(CrashIntegration, DnsExcludesCrashedServerAndReadmitsIt) {
+  // Probe the scheduler's assignment counters from inside the run: during
+  // the crash window no new mappings may target server 2 (set_down excludes
+  // it regardless of alarm state); after recovery it must win mappings
+  // again (it restarts empty, so the deterministic policy favors it).
+  experiment::Site site(crash_config());
+  std::uint64_t during_start = 0, during_end = 0;
+  site.simulator().at(650.0, [&] { during_start = site.scheduler().assignments()[2]; });
+  site.simulator().at(1199.0, [&] { during_end = site.scheduler().assignments()[2]; });
+  site.run();
+  EXPECT_EQ(during_start, during_end);  // not one mapping while down
+  EXPECT_GT(site.scheduler().assignments()[2], during_end);  // re-admitted
+}
+
+TEST(DegradeIntegration, HalvedCapacityRaisesUtilizationOrResponse) {
+  experiment::SimulationConfig cfg;
+  cfg.cluster = web::table2_cluster(20);
+  cfg.policy = "DRR2-TTL/S_K";
+  cfg.warmup_sec = 100.0;
+  cfg.duration_sec = 1500.0;
+  cfg.seed = 99;
+  experiment::SimulationConfig slow = cfg;
+  slow.faults.degradations.push_back({300.0, 1200.0, 0, 0.4});
+  const experiment::RunResult base = experiment::Site(cfg).run();
+  const experiment::RunResult hit = experiment::Site(slow).run();
+  // Server 0 is the biggest machine; running it at 40% for most of the
+  // run must hurt responses — and the DNS was never told (degradations
+  // are the blind spot only measurement-based feedback can see).
+  EXPECT_GT(hit.mean_page_response_sec, base.mean_page_response_sec);
+  EXPECT_EQ(hit.failed_requests, 0u);  // degraded, not failed
+}
+
+TEST(ChaosIntegration, CrashPlusDnsOutageEndToEnd) {
+  experiment::SimulationConfig cfg = crash_config();
+  cfg.faults.dns_outages.push_back({700.0, 120.0});
+  cfg.faults.degradations.push_back({800.0, 400.0, 1, 0.5});
+  cfg.metrics_enabled = true;
+  experiment::Site site(cfg);
+  const experiment::RunResult r = site.run();
+  // Outage accounting: the report carries the scheduled unreachable time.
+  EXPECT_DOUBLE_EQ(r.dns_outage_sec, 120.0);
+  // During the outage expired NSs stale-serve instead of querying.
+  std::uint64_t stale = 0, failed_queries = 0;
+  for (int d = 0; d < site.config().num_domains; ++d) {
+    stale += site.name_server(d).stale_serves();
+    failed_queries += site.name_server(d).failed_queries();
+  }
+  EXPECT_GT(failed_queries, 0u);
+  EXPECT_GT(stale, 0u);
+  // The metrics snapshot exposes the failure instruments by name.
+  ASSERT_NE(r.metrics, nullptr);
+  ASSERT_NE(r.metrics->find("site.failed_requests"), nullptr);
+  ASSERT_NE(r.metrics->find("server.2.lost_hits"), nullptr);
+  ASSERT_NE(r.metrics->find("ns.stale_serves"), nullptr);
+  ASSERT_NE(r.metrics->find("dns.outage_sec"), nullptr);
+  EXPECT_DOUBLE_EQ(r.metrics->find("dns.outage_sec")->value, 120.0);
+  EXPECT_GT(r.metrics->find("site.failed_requests")->value, 0.0);
+  EXPECT_GT(r.metrics->find("fault.events")->value, 0.0);
+}
+
+TEST(FaultFreeEquivalence, EmptyScheduleMatchesNoSchedule) {
+  // An explicitly empty fault schedule must not perturb the run at all —
+  // not an event, not an RNG draw. (The kernel golden tests pin absolute
+  // values; this pins the relative contract.)
+  experiment::SimulationConfig plain;
+  plain.cluster = web::table2_cluster(20);
+  plain.policy = "RR";
+  plain.warmup_sec = 50.0;
+  plain.duration_sec = 800.0;
+  plain.seed = 5;
+  experiment::SimulationConfig with_empty = plain;
+  with_empty.faults.merge(fault::FaultSchedule{});
+  const experiment::RunResult a = experiment::Site(plain).run();
+  const experiment::RunResult b = experiment::Site(with_empty).run();
+  EXPECT_EQ(a.total_pages, b.total_pages);
+  EXPECT_EQ(a.total_hits, b.total_hits);
+  EXPECT_EQ(a.events_dispatched, b.events_dispatched);
+  EXPECT_DOUBLE_EQ(a.mean_page_response_sec, b.mean_page_response_sec);
+  EXPECT_DOUBLE_EQ(a.aggregate_utilization, b.aggregate_utilization);
+  EXPECT_EQ(a.failed_requests, 0u);
+  EXPECT_EQ(b.failed_requests, 0u);
+}
+
+TEST(FaultCli, ParsesFaultFlags) {
+  const experiment::CliOptions opt = experiment::parse_cli(
+      {"--crash=900:600:2", "--degrade=1200:900:1:0.5", "--dns-outage=1000:120",
+       "--retry-delay=2.5"});
+  ASSERT_EQ(opt.config.faults.crashes.size(), 1u);
+  EXPECT_EQ(opt.config.faults.crashes[0].server, 2);
+  ASSERT_EQ(opt.config.faults.degradations.size(), 1u);
+  EXPECT_DOUBLE_EQ(opt.config.faults.degradations[0].factor, 0.5);
+  ASSERT_EQ(opt.config.faults.dns_outages.size(), 1u);
+  EXPECT_DOUBLE_EQ(opt.config.client_retry_delay_sec, 2.5);
+  EXPECT_THROW(experiment::parse_cli({"--crash=900:600"}), std::invalid_argument);
+  EXPECT_THROW(experiment::parse_cli({"--faults=/nonexistent.faults"}),
+               std::runtime_error);
+}
+
+TEST(FaultCli, FaultsValidateAgainstClusterSize) {
+  experiment::SimulationConfig cfg;
+  cfg.faults.crashes.push_back({10.0, 5.0, 99});
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.faults.crashes = {{10.0, 5.0, 3}};
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.client_retry_delay_sec = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
 }
 
 TEST(OutageCli, ParsesOutageAndQueueAlarm) {

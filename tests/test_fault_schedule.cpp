@@ -1,0 +1,154 @@
+// Fault-plan parsing and normalization: the colon-packed spec parsers, the
+// fault-file text format, schedule validation/merging, and the outage
+// calendar's half-open interval semantics.
+#include "fault/fault_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "fault/dns_outage.h"
+
+namespace adattl::fault {
+namespace {
+
+TEST(FaultSpecParsers, CrashSpec) {
+  const CrashWindow w = FaultSchedule::parse_crash("900:600:2");
+  EXPECT_DOUBLE_EQ(w.start_sec, 900.0);
+  EXPECT_DOUBLE_EQ(w.duration_sec, 600.0);
+  EXPECT_EQ(w.server, 2);
+  EXPECT_THROW(FaultSchedule::parse_crash("900:600"), std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse_crash("900:600:2:1"), std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse_crash("abc:600:2"), std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse_crash(""), std::invalid_argument);
+}
+
+TEST(FaultSpecParsers, DegradeSpec) {
+  const DegradeWindow w = FaultSchedule::parse_degrade("1200:900:1:0.5");
+  EXPECT_DOUBLE_EQ(w.start_sec, 1200.0);
+  EXPECT_DOUBLE_EQ(w.duration_sec, 900.0);
+  EXPECT_EQ(w.server, 1);
+  EXPECT_DOUBLE_EQ(w.factor, 0.5);
+  EXPECT_THROW(FaultSchedule::parse_degrade("1200:900:1"), std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse_degrade("1200:900:1:x"), std::invalid_argument);
+}
+
+TEST(FaultSpecParsers, PauseAndDnsOutageSpecs) {
+  const PauseWindow p = FaultSchedule::parse_pause("600:300:0");
+  EXPECT_DOUBLE_EQ(p.start_sec, 600.0);
+  EXPECT_EQ(p.server, 0);
+  const DnsOutageWindow o = FaultSchedule::parse_dns_outage("1000:120");
+  EXPECT_DOUBLE_EQ(o.start_sec, 1000.0);
+  EXPECT_DOUBLE_EQ(o.duration_sec, 120.0);
+  EXPECT_THROW(FaultSchedule::parse_dns_outage("1000"), std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse_dns_outage("1000:120:5"), std::invalid_argument);
+}
+
+TEST(FaultText, ParsesDirectivesCommentsAndBlanks) {
+  const FaultSchedule s = parse_fault_text(
+      "# chaos plan\n"
+      "\n"
+      "crash      = 900:600:2\n"
+      "degrade    = 1200:900:1:0.5\n"
+      "pause      = 600:300:0   # trailing comment\n"
+      "dns-outage = 1000:120\n");
+  ASSERT_EQ(s.crashes.size(), 1u);
+  ASSERT_EQ(s.degradations.size(), 1u);
+  ASSERT_EQ(s.pauses.size(), 1u);
+  ASSERT_EQ(s.dns_outages.size(), 1u);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.crashes[0].server, 2);
+  EXPECT_DOUBLE_EQ(s.degradations[0].factor, 0.5);
+}
+
+TEST(FaultText, UnknownKeyNamesTheLine) {
+  try {
+    parse_fault_text("crash = 1:1:0\nbogus = 3\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+}
+
+TEST(FaultText, EmptyTextYieldsEmptySchedule) {
+  EXPECT_TRUE(parse_fault_text("").empty());
+  EXPECT_TRUE(parse_fault_text("# only comments\n\n").empty());
+}
+
+TEST(FaultFile, MissingFileThrows) {
+  EXPECT_THROW(load_fault_file("/nonexistent/chaos.faults"), std::runtime_error);
+}
+
+TEST(FaultSchedule, ValidateChecksEveryWindow) {
+  FaultSchedule s;
+  s.crashes.push_back({100.0, 60.0, 2});
+  EXPECT_NO_THROW(s.validate(7));
+  EXPECT_THROW(s.validate(2), std::invalid_argument);  // server out of range
+
+  FaultSchedule neg;
+  neg.pauses.push_back({-1.0, 10.0, 0});
+  EXPECT_THROW(neg.validate(7), std::invalid_argument);
+
+  FaultSchedule zero_dur;
+  zero_dur.dns_outages.push_back({10.0, 0.0});
+  EXPECT_THROW(zero_dur.validate(7), std::invalid_argument);
+
+  FaultSchedule bad_factor;
+  bad_factor.degradations.push_back({10.0, 5.0, 0, 0.0});
+  EXPECT_THROW(bad_factor.validate(7), std::invalid_argument);
+}
+
+TEST(FaultSchedule, MergeAppendsAllWindowKinds) {
+  FaultSchedule a = parse_fault_text("crash = 1:1:0\n");
+  const FaultSchedule b = parse_fault_text("crash = 2:1:1\ndns-outage = 5:5\n");
+  a.merge(b);
+  EXPECT_EQ(a.crashes.size(), 2u);
+  EXPECT_EQ(a.dns_outages.size(), 1u);
+  EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(FaultSchedule, ApplyDirectiveRejectsNonFaultKeys) {
+  FaultSchedule s;
+  EXPECT_TRUE(s.apply_directive("crash", "1:1:0"));
+  EXPECT_FALSE(s.apply_directive("policy", "RR"));
+  EXPECT_THROW(s.apply_directive("crash", "1:1"), std::invalid_argument);
+}
+
+TEST(DnsOutageCalendarTest, HalfOpenBoundaries) {
+  const DnsOutageCalendar cal({{100.0, 50.0}});
+  EXPECT_FALSE(cal.unreachable(99.999));
+  EXPECT_TRUE(cal.unreachable(100.0));  // closed at the start
+  EXPECT_TRUE(cal.unreachable(149.999));
+  EXPECT_FALSE(cal.unreachable(150.0));  // open at recovery: reachable again
+}
+
+TEST(DnsOutageCalendarTest, NormalizesOverlapAndOrder) {
+  // Declared out of order with an overlap and an adjacency: normalized to
+  // two disjoint windows [50, 180) and [300, 360).
+  const DnsOutageCalendar cal({{120.0, 60.0}, {50.0, 70.0}, {300.0, 60.0}});
+  ASSERT_EQ(cal.windows().size(), 2u);
+  EXPECT_DOUBLE_EQ(cal.windows()[0].start_sec, 50.0);
+  EXPECT_DOUBLE_EQ(cal.windows()[0].duration_sec, 130.0);
+  EXPECT_DOUBLE_EQ(cal.windows()[1].start_sec, 300.0);
+  EXPECT_TRUE(cal.unreachable(119.0));  // inside the merged gap
+  EXPECT_FALSE(cal.unreachable(200.0));
+  EXPECT_DOUBLE_EQ(cal.outage_seconds(1000.0), 190.0);
+}
+
+TEST(DnsOutageCalendarTest, OutageSecondsClippedToHorizon) {
+  const DnsOutageCalendar cal({{100.0, 100.0}});
+  EXPECT_DOUBLE_EQ(cal.outage_seconds(150.0), 50.0);
+  EXPECT_DOUBLE_EQ(cal.outage_seconds(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(cal.outage_seconds(1000.0), 100.0);
+}
+
+TEST(DnsOutageCalendarTest, EmptyCalendarAlwaysReachable) {
+  const DnsOutageCalendar cal;
+  EXPECT_TRUE(cal.empty());
+  EXPECT_FALSE(cal.unreachable(0.0));
+  EXPECT_DOUBLE_EQ(cal.outage_seconds(1e6), 0.0);
+}
+
+}  // namespace
+}  // namespace adattl::fault

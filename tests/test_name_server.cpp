@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/policy_factory.h"
+#include "fault/dns_outage.h"
 #include "sim/random.h"
 
 namespace adattl::dnscache {
@@ -103,6 +104,105 @@ TEST(NsTtlBehavior, EffectiveTtlRules) {
   EXPECT_DOUBLE_EQ(b.effective_ttl(60.0), 120.0);
   b.override_sec = 200.0;
   EXPECT_DOUBLE_EQ(b.effective_ttl(60.0), 200.0);
+}
+
+TEST(NsTtlBehavior, ThresholdBoundaryIsAccepted) {
+  NsTtlBehavior b;
+  b.min_accepted_sec = 120.0;
+  EXPECT_DOUBLE_EQ(b.effective_ttl(120.0), 120.0);  // == threshold: cooperative
+  EXPECT_DOUBLE_EQ(b.effective_ttl(119.999), 120.0);
+}
+
+TEST(NsTtlBehavior, ResultIsNeverNonPositive) {
+  NsTtlBehavior cooperative;  // no threshold, no override
+  EXPECT_DOUBLE_EQ(cooperative.effective_ttl(0.0), NsTtlBehavior::kFloorTtlSec);
+  EXPECT_DOUBLE_EQ(cooperative.effective_ttl(-5.0), NsTtlBehavior::kFloorTtlSec);
+  NsTtlBehavior thresholded;
+  thresholded.min_accepted_sec = 90.0;
+  EXPECT_DOUBLE_EQ(thresholded.effective_ttl(-5.0), 90.0);
+}
+
+TEST(NsTtlBehavior, OverrideBelowThresholdClampedUp) {
+  NsTtlBehavior b;
+  b.min_accepted_sec = 300.0;
+  b.override_sec = 60.0;  // contradicts the threshold the NS enforces
+  EXPECT_DOUBLE_EQ(b.effective_ttl(100.0), 300.0);
+  EXPECT_DOUBLE_EQ(b.effective_ttl(400.0), 400.0);  // accepted values untouched
+}
+
+TEST(NsRetryPolicy, ValidatesFields) {
+  NsRetryPolicy ok;
+  EXPECT_NO_THROW(ok.validate());
+  NsRetryPolicy bad_initial;
+  bad_initial.initial_backoff_sec = 0.0;
+  EXPECT_THROW(bad_initial.validate(), std::invalid_argument);
+  NsRetryPolicy bad_max;
+  bad_max.max_backoff_sec = 0.5;  // below the 1 s initial
+  EXPECT_THROW(bad_max.validate(), std::invalid_argument);
+  NsRetryPolicy bad_mult;
+  bad_mult.multiplier = 0.9;
+  EXPECT_THROW(bad_mult.validate(), std::invalid_argument);
+}
+
+TEST_F(NameServerTest, AttachingOutagesValidatesRetryPolicy) {
+  NameServer ns(simulator, 0, *bundle.scheduler);
+  const fault::DnsOutageCalendar cal({{0.0, 10.0}});
+  NsRetryPolicy bad;
+  bad.initial_backoff_sec = -1.0;
+  EXPECT_THROW(ns.set_dns_outages(&cal, bad), std::invalid_argument);
+}
+
+TEST_F(NameServerTest, OutageStaleServesAndBacksOff) {
+  NameServer ns(simulator, 0, *bundle.scheduler);
+  const fault::DnsOutageCalendar cal({{240.0, 760.0}});
+  ns.set_dns_outages(&cal);
+  const web::ServerId first = ns.resolve();  // t = 0: reachable, fresh 240 s
+  simulator.run_until(250.0);                // mapping expired, outage running
+  EXPECT_FALSE(ns.has_fresh_mapping());
+  EXPECT_EQ(ns.resolve(), first);  // stale-served, one real attempt
+  EXPECT_EQ(ns.stale_serves(), 1u);
+  EXPECT_EQ(ns.failed_queries(), 1u);
+  // A stale answer must not be cached as fresh.
+  EXPECT_FALSE(ns.has_fresh_mapping());
+  // Inside the 1 s backoff window: served stale without a new attempt.
+  EXPECT_EQ(ns.resolve(), first);
+  EXPECT_EQ(ns.stale_serves(), 2u);
+  EXPECT_EQ(ns.failed_queries(), 1u);
+  simulator.run_until(251.0);  // backoff expired: next real attempt
+  EXPECT_EQ(ns.resolve(), first);
+  EXPECT_EQ(ns.failed_queries(), 2u);
+  // None of this ever reached the authoritative scheduler.
+  EXPECT_EQ(ns.authoritative_queries(), 1u);
+}
+
+TEST_F(NameServerTest, BackoffIsCappedAndRecoveryResumesResolution) {
+  NameServer ns(simulator, 0, *bundle.scheduler);
+  const fault::DnsOutageCalendar cal({{0.0, 500.0}});
+  NsRetryPolicy retry;
+  retry.initial_backoff_sec = 1.0;
+  retry.max_backoff_sec = 4.0;
+  retry.multiplier = 2.0;
+  ns.set_dns_outages(&cal, retry);
+  // Cold cache during an outage: resolution fails outright.
+  EXPECT_EQ(ns.resolve(), -1);
+  EXPECT_EQ(ns.failed_queries(), 1u);
+  // Real attempts are spaced 1, 2, 4, 4 seconds apart (capped at 4).
+  double t = 0.0;
+  for (const double step : {1.0, 2.0, 4.0, 4.0}) {
+    t += step;
+    simulator.run_until(t);
+    EXPECT_EQ(ns.resolve(), -1);
+  }
+  EXPECT_EQ(ns.failed_queries(), 5u);
+  // Still inside the capped window: no further attempt is spent.
+  simulator.run_until(t + 1.0);
+  ns.resolve();
+  EXPECT_EQ(ns.failed_queries(), 5u);
+  // Past the outage the next query reaches the DNS again.
+  simulator.run_until(504.0);
+  EXPECT_GE(ns.resolve(), 0);
+  EXPECT_EQ(ns.authoritative_queries(), 1u);
+  EXPECT_TRUE(ns.has_fresh_mapping());
 }
 
 }  // namespace

@@ -63,6 +63,11 @@ TEST(RunnerJson, SchemaKeySetIsStable) {
       "mean_response_sec",
       "response_p99_sec",
       "mean_network_rtt_sec",
+      "failed_requests",
+      "lost_pages",
+      "lost_hits",
+      "dns_outage_sec",
+      "unavailability_fraction",
       "mean_server_utilization",
   };
   EXPECT_EQ(extract_keys(json), expected);

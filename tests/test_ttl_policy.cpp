@@ -49,6 +49,20 @@ TEST(AdaptiveTtl, CalibrationMatchesConstantTtlAddressRate) {
   }
 }
 
+TEST(AdaptiveTtl, RejectsNonPositiveCapacities) {
+  DomainModel m(zipf_weights(5), 0.2);
+  // A zero capacity would silently poison the capacity-share terms
+  // (division by sum, per-server ratios) instead of failing loudly.
+  EXPECT_THROW(
+      AdaptiveTtlPolicy(m, {100.0, 0.0, 60.0}, 2, false, uniform_shares(3)),
+      std::invalid_argument);
+  EXPECT_THROW(
+      AdaptiveTtlPolicy(m, {100.0, -5.0, 60.0}, 2, true, uniform_shares(3)),
+      std::invalid_argument);
+  EXPECT_NO_THROW(
+      AdaptiveTtlPolicy(m, {100.0, 80.0, 60.0}, 2, false, uniform_shares(3)));
+}
+
 TEST(AdaptiveTtl, SingleClassNoServerTermDegeneratesToConstant) {
   DomainModel m(zipf_weights(10), 0.1);
   AdaptiveTtlPolicy p(m, {100.0, 50.0}, 1, false, uniform_shares(2), 240.0);

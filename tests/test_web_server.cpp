@@ -144,6 +144,110 @@ TEST_F(WebServerTest, ResponseTimeIncludesQueueing) {
   EXPECT_EQ(s.response_time().count(), 50u);
 }
 
+TEST_F(WebServerTest, QueueDepthGaugeMatchesQueueLengthConvention) {
+  // The "server.<id>.queue_depth" gauge follows queue_length(): waiting
+  // pages PLUS the in-service one. This pins the convention so monitor
+  // reports and the metrics registry can never drift apart again.
+  obs::MetricsRegistry registry;
+  WebServer s(simulator, 0, 100.0, 1, rng.split());
+  s.bind_observability(&registry, nullptr);
+  const obs::Gauge depth = registry.gauge("server.0.queue_depth");
+  s.submit_page(PageRequest{0, 5, nullptr});  // in service
+  s.submit_page(PageRequest{0, 5, nullptr});  // waiting
+  EXPECT_EQ(s.queue_length(), 2u);
+  EXPECT_DOUBLE_EQ(depth.value(), 2.0);  // not 1: the in-service page counts
+  simulator.run();
+  EXPECT_EQ(s.queue_length(), 0u);
+  EXPECT_DOUBLE_EQ(depth.value(), 0.0);
+}
+
+TEST_F(WebServerTest, CrashDropsQueueAndCountsLostWork) {
+  WebServer s(simulator, 0, 100.0, 1, rng.split());
+  int failed = 0;
+  for (int i = 0; i < 4; ++i) {
+    s.submit_page(PageRequest{0, 10, nullptr, [&] { ++failed; }});
+  }
+  simulator.run_until(0.001);  // first page in flight, three queued
+  s.set_crashed(true);
+  EXPECT_TRUE(s.crashed());
+  EXPECT_EQ(failed, 4);  // every victim's on_fail fired
+  EXPECT_EQ(s.lost_pages(), 4u);
+  EXPECT_EQ(s.lost_hits(), 40u);  // in-flight page counted at full burst
+  EXPECT_EQ(s.queue_length(), 0u);
+  simulator.run();
+  EXPECT_EQ(s.pages_served(), 0u);  // the cancelled service never completed
+}
+
+TEST_F(WebServerTest, CrashedServerRejectsSubmissions) {
+  WebServer s(simulator, 0, 100.0, 1, rng.split());
+  s.set_crashed(true);
+  int failed = 0;
+  s.submit_page(PageRequest{0, 10, nullptr, [&] { ++failed; }});
+  EXPECT_EQ(failed, 1);
+  EXPECT_EQ(s.rejected_pages(), 1u);
+  EXPECT_EQ(s.queue_length(), 0u);
+  // Rejected pages never enter demand accounting.
+  EXPECT_EQ(s.lifetime_domain_hits()[0], 0u);
+  // Recovery: the server accepts and serves again.
+  s.set_crashed(false);
+  bool done = false;
+  s.submit_page(PageRequest{0, 10, [&] { done = true; }});
+  simulator.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(s.pages_served(), 1u);
+}
+
+TEST_F(WebServerTest, CrashKeepsPartialBusyTimeOfCancelledService) {
+  WebServer s(simulator, 0, 100.0, 1, rng.split());
+  s.submit_page(PageRequest{0, 50, nullptr});
+  simulator.run_until(0.01);
+  s.set_crashed(true);
+  // The half-done service really consumed 0.01 s of server time.
+  EXPECT_NEAR(s.cumulative_busy_time(simulator.now()), 0.01, 1e-9);
+  simulator.run_until(5.0);
+  EXPECT_NEAR(s.cumulative_busy_time(simulator.now()), 0.01, 1e-9);
+}
+
+TEST_F(WebServerTest, CrashIsIdempotentAndDistinctFromPause) {
+  WebServer s(simulator, 0, 100.0, 1, rng.split());
+  for (int i = 0; i < 3; ++i) s.submit_page(PageRequest{0, 10, nullptr});
+  s.set_paused(true);  // pause keeps the queue...
+  EXPECT_EQ(s.queue_length(), 3u);
+  s.set_crashed(true);  // ...crash destroys it
+  s.set_crashed(true);  // idempotent: no double accounting
+  EXPECT_EQ(s.lost_pages(), 3u);
+  EXPECT_TRUE(s.paused());  // orthogonal flags: still paused after recovery
+  s.set_crashed(false);
+  EXPECT_TRUE(s.paused());
+}
+
+TEST_F(WebServerTest, CapacityFactorScalesNewServices) {
+  WebServer s(simulator, 0, 50.0, 1, rng.split());
+  EXPECT_THROW(s.set_capacity_factor(0.0), std::invalid_argument);
+  EXPECT_THROW(s.set_capacity_factor(-0.5), std::invalid_argument);
+  s.set_capacity_factor(0.5);
+  EXPECT_DOUBLE_EQ(s.effective_capacity(), 25.0);
+  // At half capacity the mean service of a 10-hit page doubles to 0.4 s.
+  const int pages = 4000;
+  int completed = 0;
+  double submit_time = 0.0;
+  sim::RunningStat durations;
+  std::function<void()> submit = [&] {
+    if (completed == pages) return;
+    submit_time = simulator.now();
+    s.submit_page(PageRequest{0, 10, [&] {
+                                durations.add(simulator.now() - submit_time);
+                                ++completed;
+                                submit();
+                              }});
+  };
+  submit();
+  simulator.run();
+  EXPECT_NEAR(durations.mean(), 0.4, 0.02);
+  s.set_capacity_factor(1.0);
+  EXPECT_DOUBLE_EQ(s.effective_capacity(), 50.0);
+}
+
 TEST_F(WebServerTest, CompletionCallbackMaySubmitImmediately) {
   WebServer s(simulator, 0, 100.0, 1, rng.split());
   int served = 0;

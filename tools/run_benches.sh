@@ -104,3 +104,106 @@ with open(out_path, "w") as f:
     f.write("\n")
 print(f"wrote {out_path} ({len(distilled)} benchmarks)")
 PY
+
+# ---- Fault-layer overhead: empty schedule vs plain site, chaos vs empty ----
+# BM_FullSiteFault/fault_free mirrors BM_FullSite/RR exactly, so their
+# ratio is the cost of carrying the (inert) fault subsystem; it must stay
+# within noise of 1.0. The chaos ratio tracks what a populated schedule
+# costs on top.
+FAULT_OUT="$(dirname "${OUT}")/BENCH_fault.json"
+fault_bin="${BUILD_DIR}/bench/micro_fault"
+if [[ ! -x "${fault_bin}" ]]; then
+  echo "error: ${fault_bin} not built (cmake --build ${BUILD_DIR} --target micro_fault)" >&2
+  exit 1
+fi
+# Single-shot full-site timings jitter by ±10% on small machines, far
+# above the 3% budget, and the machine's speed drifts over the minutes a
+# full bench run takes. So the comparison is PAIRED: each repetition runs
+# micro_fault and the plain BM_FullSite/RR back to back, the per-pair
+# ratios cancel the drift, and the median ratio is what gets asserted.
+FAULT_PAIRS="${FAULT_PAIRS:-5}"
+echo "running ${fault_bin} vs BM_FullSite/RR (${FAULT_PAIRS} paired runs) ..." >&2
+
+python3 - "${FAULT_OUT}" "${fault_bin}" "${BUILD_DIR}/bench/micro_simulation" \
+          "${FAULT_PAIRS}" <<'PY'
+import json, os, statistics, subprocess, sys, tempfile
+
+out_path, fault_bin, sim_bin, pairs = sys.argv[1:]
+pairs = int(pairs)
+
+
+def run(binary, flt):
+    fd, path = tempfile.mkstemp(suffix=".json")
+    os.close(fd)
+    try:
+        subprocess.run(
+            [binary, f"--benchmark_filter={flt}", "--benchmark_format=json",
+             f"--benchmark_out={path}", "--benchmark_out_format=json"],
+            check=True, stdout=subprocess.DEVNULL)
+        with open(path) as f:
+            dump = json.load(f)
+    finally:
+        os.unlink(path)
+    times = {b["name"]: b.get("real_time")
+             for b in dump.get("benchmarks", [])
+             if b.get("run_type") != "aggregate"}
+    return dump.get("context", {}), times
+
+
+ctx = {}
+fault_free_ts, chaos_ts, plain_ts, ratios = [], [], [], []
+for i in range(pairs):
+    # Alternate which binary goes first so warmup/turbo ordering effects
+    # cancel across pairs instead of biasing one side.
+    if i % 2 == 0:
+        ctx, fault_times = run(fault_bin, "BM_FullSiteFault")
+        _, sim_times = run(sim_bin, "BM_FullSite/RR$")
+    else:
+        _, sim_times = run(sim_bin, "BM_FullSite/RR$")
+        ctx, fault_times = run(fault_bin, "BM_FullSiteFault")
+    fault_free = fault_times.get("BM_FullSiteFault/fault_free")
+    chaos = fault_times.get("BM_FullSiteFault/chaos")
+    plain = sim_times.get("BM_FullSite/RR")
+    if fault_free:
+        fault_free_ts.append(fault_free)
+    if chaos:
+        chaos_ts.append(chaos)
+    if plain:
+        plain_ts.append(plain)
+    if fault_free and plain:
+        ratios.append(fault_free / plain)
+
+distilled = {}
+if fault_free_ts:
+    distilled["BM_FullSiteFault/fault_free"] = {
+        "median_real_time_ns": statistics.median(fault_free_ts)}
+if chaos_ts:
+    distilled["BM_FullSiteFault/chaos"] = {
+        "median_real_time_ns": statistics.median(chaos_ts)}
+if plain_ts:
+    distilled["BM_FullSite/RR"] = {
+        "median_real_time_ns": statistics.median(plain_ts)}
+
+summary = {}
+if ratios:
+    ratio = statistics.median(ratios)
+    summary["fault_free_over_fullsite_rr"] = ratio
+    summary["fault_free_overhead_percent"] = (ratio - 1.0) * 100.0
+    summary["paired_runs"] = len(ratios)
+    if ratio > 1.03:
+        print(f"WARNING: inert fault layer costs {ratio:.3f}x the plain site "
+              "(budget 1.03x)", file=sys.stderr)
+if fault_free_ts and chaos_ts:
+    summary["chaos_over_fault_free"] = (statistics.median(chaos_ts) /
+                                        statistics.median(fault_free_ts))
+
+with open(out_path, "w") as f:
+    json.dump({"context": {"date": ctx.get("date"),
+                           "host_name": ctx.get("host_name"),
+                           "num_cpus": ctx.get("num_cpus"),
+                           "build_type": ctx.get("library_build_type")},
+               "benchmarks": distilled,
+               "summary": summary}, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path} ({len(distilled)} benchmarks)")
+PY
