@@ -13,6 +13,7 @@
 #include "experiment/cli.h"
 #include "experiment/decision_log.h"
 #include "experiment/parallel_executor.h"
+#include "experiment/param_registry.h"
 #include "experiment/report.h"
 #include "experiment/runner.h"
 #include "experiment/trace.h"
@@ -29,12 +30,23 @@ int main(int argc, char** argv) {
     }
   }
 
-  experiment::CliOptions opt;
+  experiment::ConfigResolution resolution;
   try {
-    opt = experiment::parse_cli(args);
+    resolution = experiment::resolve_config(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n\n%s", e.what(), experiment::cli_usage().c_str());
     return 2;
+  }
+  const experiment::CliOptions& opt = resolution.options;
+
+  if (opt.dump_params_md) {
+    std::fputs(experiment::ParamRegistry::instance().params_markdown().c_str(), stdout);
+    return 0;
+  }
+  if (opt.dump_config) {
+    std::fputs(experiment::ParamRegistry::instance().dump_scenario(resolution).c_str(),
+               stdout);
+    return 0;
   }
 
   if (!opt.trace_path.empty() || !opt.decisions_path.empty() ||
@@ -89,7 +101,8 @@ int main(int argc, char** argv) {
   const experiment::RunResult& first = rep.runs.front();
 
   if (opt.json) {
-    std::printf("%s\n", experiment::to_json(opt.config, rep).c_str());
+    std::printf("%s\n",
+                experiment::to_json(opt.config, rep, resolution.provenance).c_str());
     return 0;
   }
 

@@ -154,6 +154,8 @@ PolicySpec parse_policy_name(const std::string& name) {
   return spec;
 }
 
+void validate_policy_name(const std::string& name) { (void)parse_policy_name(name); }
+
 std::vector<std::string> paper_policy_names() {
   return {
       "RR",           "RR2",           "DAL",

@@ -44,6 +44,11 @@ struct PolicySpec {
 /// anything else.
 PolicySpec parse_policy_name(const std::string& name);
 
+/// Checks that `name` parses as an algorithm name; throws the same
+/// std::invalid_argument as parse_policy_name. Used by the parameter
+/// registry so every config entry point rejects bad names identically.
+void validate_policy_name(const std::string& name);
+
 /// The 15 algorithm names evaluated in the paper's figures
 /// (RR, RR2, DAL, 6 probabilistic, 6 deterministic).
 std::vector<std::string> paper_policy_names();

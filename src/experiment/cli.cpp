@@ -1,260 +1,17 @@
 #include "experiment/cli.h"
 
-#include <algorithm>
-#include <stdexcept>
-
-#include "experiment/scenario_file.h"
-#include "fault/fault_schedule.h"
+#include "experiment/param_registry.h"
 
 namespace adattl::experiment {
-namespace {
 
-double parse_double(const std::string& flag, const std::string& value) {
-  std::size_t pos = 0;
-  double out = 0;
-  try {
-    out = std::stod(value, &pos);
-  } catch (const std::exception&) {
-    throw std::invalid_argument(flag + ": expected a number, got '" + value + "'");
-  }
-  if (pos != value.size()) {
-    throw std::invalid_argument(flag + ": trailing junk in '" + value + "'");
-  }
-  return out;
-}
-
-long parse_long(const std::string& flag, const std::string& value) {
-  const double d = parse_double(flag, value);
-  const long l = static_cast<long>(d);
-  if (static_cast<double>(l) != d) {
-    throw std::invalid_argument(flag + ": expected an integer, got '" + value + "'");
-  }
-  return l;
-}
-
-std::vector<double> parse_double_list(const std::string& flag, const std::string& value) {
-  std::vector<double> out;
-  std::size_t start = 0;
-  while (start <= value.size()) {
-    const std::size_t comma = value.find(',', start);
-    const std::string item =
-        value.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
-    if (item.empty()) throw std::invalid_argument(flag + ": empty list element");
-    out.push_back(parse_double(flag, item));
-    if (comma == std::string::npos) break;
-    start = comma + 1;
-  }
-  return out;
-}
-
-}  // namespace
+// Every knob — name, parsing, precedence, validation, help text — lives in
+// the parameter registry (param_registry.cpp). This file only adapts the
+// registry to the historical parse_cli()/cli_usage() entry points.
 
 CliOptions parse_cli(const std::vector<std::string>& args) {
-  CliOptions opt;
-
-  // Expand --config=FILE inline so later flags override the file's values.
-  std::vector<std::string> expanded;
-  for (const std::string& arg : args) {
-    if (arg.rfind("--config=", 0) == 0) {
-      const std::string path = arg.substr(9);
-      if (path.empty()) throw std::invalid_argument("--config: requires a file path");
-      std::vector<std::string> file_args = load_scenario_file(path);
-      for (const std::string& fa : file_args) {
-        if (fa.rfind("--config", 0) == 0) {
-          throw std::invalid_argument("scenario files cannot nest --config");
-        }
-        expanded.push_back(fa);
-      }
-    } else {
-      expanded.push_back(arg);
-    }
-  }
-
-  for (const std::string& arg : expanded) {
-    std::string flag = arg;
-    std::string value;
-    const std::size_t eq = arg.find('=');
-    if (eq != std::string::npos) {
-      flag = arg.substr(0, eq);
-      value = arg.substr(eq + 1);
-    }
-    auto require_value = [&]() -> const std::string& {
-      if (eq == std::string::npos || value.empty()) {
-        throw std::invalid_argument(flag + ": requires a value (" + flag + "=...)");
-      }
-      return value;
-    };
-
-    if (flag == "--policy") {
-      opt.config.policy = require_value();
-    } else if (flag == "--heterogeneity") {
-      opt.config.cluster =
-          web::table2_cluster(static_cast<int>(parse_long(flag, require_value())));
-    } else if (flag == "--relative") {
-      opt.config.cluster.relative = parse_double_list(flag, require_value());
-    } else if (flag == "--total-capacity") {
-      opt.config.cluster.total_capacity_hits_per_sec = parse_double(flag, require_value());
-    } else if (flag == "--domains") {
-      opt.config.num_domains = static_cast<int>(parse_long(flag, require_value()));
-    } else if (flag == "--clients") {
-      opt.config.total_clients = static_cast<int>(parse_long(flag, require_value()));
-    } else if (flag == "--think") {
-      opt.config.mean_think_sec = parse_double(flag, require_value());
-    } else if (flag == "--zipf-theta") {
-      opt.config.zipf_theta = parse_double(flag, require_value());
-    } else if (flag == "--uniform") {
-      opt.config.uniform_clients = true;
-    } else if (flag == "--error") {
-      opt.config.rate_perturbation_percent = parse_double(flag, require_value());
-    } else if (flag == "--min-ttl") {
-      opt.config.ns_min_ttl_sec = parse_double(flag, require_value());
-    } else if (flag == "--ns-per-domain") {
-      opt.config.ns_per_domain = static_cast<int>(parse_long(flag, require_value()));
-    } else if (flag == "--ttl") {
-      opt.config.reference_ttl_sec = parse_double(flag, require_value());
-    } else if (flag == "--alarm-threshold") {
-      opt.config.alarm_threshold = parse_double(flag, require_value());
-    } else if (flag == "--no-alarm") {
-      opt.config.alarm_enabled = false;
-    } else if (flag == "--queue-alarm") {
-      opt.config.alarm_queue_threshold =
-          static_cast<std::size_t>(parse_long(flag, require_value()));
-    } else if (flag == "--outage") {
-      // START:DURATION:SERVER
-      const std::string& v = require_value();
-      const std::size_t c1 = v.find(':');
-      const std::size_t c2 = c1 == std::string::npos ? std::string::npos : v.find(':', c1 + 1);
-      if (c1 == std::string::npos || c2 == std::string::npos) {
-        throw std::invalid_argument("--outage: expected START:DURATION:SERVER, got '" + v + "'");
-      }
-      ServerOutage outage;
-      outage.start_sec = parse_double(flag, v.substr(0, c1));
-      outage.duration_sec = parse_double(flag, v.substr(c1 + 1, c2 - c1 - 1));
-      outage.server = static_cast<int>(parse_long(flag, v.substr(c2 + 1)));
-      opt.config.outages.push_back(outage);
-    } else if (flag == "--faults") {
-      // Whole fault file; merges with any inline fault flags.
-      opt.config.faults.merge(fault::load_fault_file(require_value()));
-    } else if (flag == "--crash") {
-      opt.config.faults.crashes.push_back(fault::FaultSchedule::parse_crash(require_value()));
-    } else if (flag == "--degrade") {
-      opt.config.faults.degradations.push_back(
-          fault::FaultSchedule::parse_degrade(require_value()));
-    } else if (flag == "--dns-outage") {
-      opt.config.faults.dns_outages.push_back(
-          fault::FaultSchedule::parse_dns_outage(require_value()));
-    } else if (flag == "--retry-delay") {
-      opt.config.client_retry_delay_sec = parse_double(flag, require_value());
-    } else if (flag == "--no-calibration") {
-      opt.config.calibrate_ttl = false;
-    } else if (flag == "--measured") {
-      opt.config.oracle_weights = false;
-    } else if (flag == "--estimator") {
-      const std::string& v = require_value();
-      if (v == "ewma") {
-        opt.config.estimator_kind = EstimatorKind::kEwma;
-      } else if (v == "window") {
-        opt.config.estimator_kind = EstimatorKind::kSlidingWindow;
-      } else {
-        throw std::invalid_argument("--estimator: expected 'ewma' or 'window', got '" + v + "'");
-      }
-    } else if (flag == "--cold-start") {
-      opt.config.estimator_cold_start = true;
-    } else if (flag == "--client-cache") {
-      opt.config.client_cache_enabled = true;
-    } else if (flag == "--redirect") {
-      opt.config.redirect_enabled = true;
-    } else if (flag == "--redirect-wait") {
-      opt.config.redirect_enabled = true;
-      opt.config.redirect_max_wait_sec = parse_double(flag, require_value());
-    } else if (flag == "--redirect-delay") {
-      opt.config.redirect_delay_sec = parse_double(flag, require_value());
-    } else if (flag == "--geo-regions") {
-      opt.config.geo_regions = static_cast<int>(parse_long(flag, require_value()));
-    } else if (flag == "--geo-intra") {
-      opt.config.geo_intra_rtt_sec = parse_double(flag, require_value());
-    } else if (flag == "--geo-inter") {
-      opt.config.geo_inter_rtt_sec = parse_double(flag, require_value());
-    } else if (flag == "--duration") {
-      opt.config.duration_sec = parse_double(flag, require_value());
-    } else if (flag == "--warmup") {
-      opt.config.warmup_sec = parse_double(flag, require_value());
-    } else if (flag == "--seed") {
-      opt.config.seed = static_cast<std::uint64_t>(parse_long(flag, require_value()));
-    } else if (flag == "--replications") {
-      opt.replications = static_cast<int>(parse_long(flag, require_value()));
-      if (opt.replications < 1) throw std::invalid_argument("--replications: need >= 1");
-    } else if (flag == "--jobs") {
-      opt.jobs = static_cast<int>(parse_long(flag, require_value()));
-      if (opt.jobs < 1) throw std::invalid_argument("--jobs: need >= 1");
-    } else if (flag == "--trace") {
-      opt.trace_path = require_value();
-    } else if (flag == "--decisions") {
-      opt.decisions_path = require_value();
-    } else if (flag == "--metrics") {
-      opt.config.metrics_enabled = true;
-    } else if (flag == "--chrome-trace") {
-      opt.chrome_trace_path = require_value();
-      opt.config.trace_enabled = true;
-    } else if (flag == "--shift") {
-      // T:DOMAIN:FACTOR
-      const std::string& v = require_value();
-      const std::size_t c1 = v.find(':');
-      const std::size_t c2 = c1 == std::string::npos ? std::string::npos : v.find(':', c1 + 1);
-      if (c1 == std::string::npos || c2 == std::string::npos) {
-        throw std::invalid_argument("--shift: expected T:DOMAIN:FACTOR, got '" + v + "'");
-      }
-      workload::RateShift shift;
-      shift.at_sec = parse_double(flag, v.substr(0, c1));
-      shift.domain = static_cast<int>(parse_long(flag, v.substr(c1 + 1, c2 - c1 - 1)));
-      shift.rate_factor = parse_double(flag, v.substr(c2 + 1));
-      opt.config.rate_shifts.push_back(shift);
-    } else if (flag == "--csv") {
-      opt.csv = true;
-    } else if (flag == "--json") {
-      opt.json = true;
-    } else if (flag == "--cdf") {
-      opt.show_cdf = true;
-    } else {
-      throw std::invalid_argument("unknown flag: '" + arg + "' (see --help text)");
-    }
-  }
-
-  opt.config.validate();
-  return opt;
+  return ParamRegistry::instance().resolve(args).options;
 }
 
-std::string cli_usage() {
-  return "usage: run_scenario [--flag=value ...]\n"
-         "  scenario:   --config=FILE (key = value lines, keys = flag names;\n"
-         "              later command-line flags override the file)\n"
-         "  workload:   --domains=K --clients=N --think=SEC --zipf-theta=T --uniform\n"
-         "              --error=PERCENT\n"
-         "  site:       --heterogeneity=0|20|35|50|65 | --relative=1,0.8,... \n"
-         "              --total-capacity=HITS_PER_SEC\n"
-         "  algorithm:  --policy=NAME (RR, RR2, DAL, MRL, PRR[2]-TTL/1|2|K,\n"
-         "              DRR[2]-TTL/S_1|S_2|S_K) --ttl=SEC --no-calibration\n"
-         "              --alarm-threshold=U --no-alarm\n"
-         "  estimation: --measured --estimator=ewma|window --cold-start\n"
-         "  resolvers:  --min-ttl=SEC --ns-per-domain=M --client-cache\n"
-         "  geography:  --geo-regions=R --geo-intra=SEC --geo-inter=SEC\n"
-         "  redirection: --redirect --redirect-wait=SEC --redirect-delay=SEC\n"
-         "              (enables network RTTs; policy GEO routes by proximity)\n"
-         "  dynamics:   --shift=T:DOMAIN:FACTOR (repeatable flash crowd)\n"
-         "              --outage=START:DURATION:SERVER (repeatable silent stall)\n"
-         "              --queue-alarm=PAGES (alarm on backlog, detects outages)\n"
-         "  faults:     --faults=FILE (crash/degrade/pause/dns-outage lines)\n"
-         "              --crash=START:DURATION:SERVER (drop queue, reject)\n"
-         "              --degrade=START:DURATION:SERVER:FACTOR (scale C_i)\n"
-         "              --dns-outage=START:DURATION (authoritative DNS down;\n"
-         "              NSs back off and serve stale) --retry-delay=SEC\n"
-         "  run:        --duration=SEC --warmup=SEC --seed=N --replications=R\n"
-         "              --jobs=J (parallel workers; default ADATTL_JOBS or all\n"
-         "              cores; 1 = serial; output is identical either way)\n"
-         "  output:     --csv --json --cdf --trace=FILE.csv --decisions=FILE.csv\n"
-         "              --metrics (JSON gains a \"metrics\" object)\n"
-         "              --chrome-trace=FILE.json (event timeline for\n"
-         "              chrome://tracing / Perfetto)\n";
-}
+std::string cli_usage() { return ParamRegistry::instance().usage(); }
 
 }  // namespace adattl::experiment

@@ -8,7 +8,9 @@
 namespace adattl::experiment {
 
 /// What a command-line invocation asked for: the simulation itself plus
-/// presentation options.
+/// presentation options. Every field is bound to a ParamSpec in
+/// param_registry.cpp — that table is the single source of truth for knob
+/// names, parsing, documentation and validation.
 struct CliOptions {
   SimulationConfig config;
   int replications = 1;
@@ -27,40 +29,24 @@ struct CliOptions {
   /// Write the first replication's event trace as Chrome trace_event JSON
   /// to this file (empty = no trace). Implies config.trace_enabled.
   std::string chrome_trace_path;
+  /// Print the fully resolved run as a scenario file and exit (no run).
+  bool dump_config = false;
+  /// Print the generated knob reference (docs/CONFIG.md) and exit.
+  bool dump_params_md = false;
 };
 
-/// Parses `--key=value` style arguments into CliOptions. Unknown flags or
-/// malformed values throw std::invalid_argument with a message naming the
-/// offending argument. Supported flags (all optional):
-///
-///   --policy=NAME            scheduling algorithm (default RR)
-///   --heterogeneity=P        Table 2 preset: 0/20/35/50/65
-///   --relative=1,0.8,...     custom relative capacities (overrides preset)
-///   --total-capacity=H       total hits/s (default 500)
-///   --domains=K --clients=N --think=SEC --zipf-theta=T
-///   --uniform                uniform client distribution (Ideal workload)
-///   --error=P                hidden-load perturbation percent
-///   --min-ttl=SEC            non-cooperative NS minimum accepted TTL
-///   --ns-per-domain=M        name-server caches per domain (default 1)
-///   --ttl=SEC                constant/reference TTL (default 240)
-///   --alarm-threshold=U      alarm threshold (default 0.9); --no-alarm
-///   --no-calibration         disable address-rate TTL calibration
-///   --measured               estimate weights online instead of oracle
-///   --estimator=ewma|window  estimator kind; --cold-start
-///   --client-cache           enable per-client address caches
-///   --duration=SEC --warmup=SEC --seed=N --replications=R
-///   --jobs=J                 parallel workers (default ADATTL_JOBS/auto;
-///                            1 = serial; results identical either way)
-///   --csv --json --cdf --trace=FILE.csv
-///   --metrics                enable the run metrics registry (JSON output
-///                            then carries a "metrics" object)
-///   --chrome-trace=FILE      write the first replication's event timeline
-///                            as Chrome trace_event JSON (chrome://tracing)
-///   --shift=T:DOMAIN:FACTOR  scripted flash crowd (repeatable): at time T
-///                            multiply DOMAIN's request rate by FACTOR
+/// Parses `--key[=value]` style arguments into CliOptions through the
+/// parameter registry's precedence pipeline: defaults < scenario files
+/// (`--config=FILE`, wherever it appears) < `ADATTL_*` environment
+/// overrides < command-line flags in order. Boolean knobs accept `--X`,
+/// `--X=true|false` and `--no-X`. Unknown flags or malformed values throw
+/// std::invalid_argument naming the offending source, with a did-you-mean
+/// suggestion for near-miss names. The full knob list lives in
+/// param_registry.cpp and is rendered by cli_usage() / docs/CONFIG.md.
 CliOptions parse_cli(const std::vector<std::string>& args);
 
-/// Human-readable usage text for run_scenario-style binaries.
+/// Human-readable usage text for run_scenario-style binaries, generated
+/// from the parameter registry.
 std::string cli_usage();
 
 }  // namespace adattl::experiment

@@ -1,77 +1,16 @@
 #include "experiment/config.h"
 
-#include <stdexcept>
+#include "experiment/param_registry.h"
 
 namespace adattl::experiment {
 
 void SimulationConfig::validate() const {
-  cluster.validate();
-  session.validate();
-  if (num_domains < 1) throw std::invalid_argument("config: need >= 1 domain");
-  if (total_clients < 1) throw std::invalid_argument("config: need >= 1 client");
-  if (mean_think_sec <= 0) throw std::invalid_argument("config: think time must be > 0");
-  if (zipf_theta < 0) throw std::invalid_argument("config: zipf theta must be >= 0");
-  if (rate_perturbation_percent < 0) throw std::invalid_argument("config: perturbation >= 0");
-  if (policy.empty()) throw std::invalid_argument("config: no policy");
-  for (const workload::RateShift& shift : rate_shifts) {
-    if (shift.at_sec < 0) throw std::invalid_argument("config: rate shift in the past");
-    if (shift.domain < 0 || shift.domain >= num_domains) {
-      throw std::invalid_argument("config: rate shift for unknown domain");
-    }
-    if (shift.rate_factor <= 0) {
-      throw std::invalid_argument("config: rate shift factor must be > 0");
-    }
-  }
-  if (reference_ttl_sec <= 0) throw std::invalid_argument("config: reference TTL must be > 0");
-  if (alarm_threshold <= 0 || alarm_threshold > 1) {
-    throw std::invalid_argument("config: alarm threshold must lie in (0, 1]");
-  }
-  if (monitor_interval_sec <= 0) throw std::invalid_argument("config: monitor interval > 0");
-  for (const ServerOutage& outage : outages) {
-    if (outage.start_sec < 0) throw std::invalid_argument("config: outage in the past");
-    if (outage.duration_sec <= 0) throw std::invalid_argument("config: outage needs duration");
-    if (outage.server < 0 || outage.server >= cluster.size()) {
-      throw std::invalid_argument("config: outage for unknown server");
-    }
-  }
-  faults.validate(cluster.size());
-  if (client_retry_delay_sec <= 0) {
-    throw std::invalid_argument("config: client retry delay must be > 0");
-  }
-  if (ns_retry_initial_backoff_sec <= 0) {
-    throw std::invalid_argument("config: NS retry backoff must be > 0");
-  }
-  if (ns_retry_max_backoff_sec < ns_retry_initial_backoff_sec) {
-    throw std::invalid_argument("config: NS max backoff must be >= initial");
-  }
-  if (estimator_smoothing <= 0 || estimator_smoothing > 1) {
-    throw std::invalid_argument("config: estimator smoothing must lie in (0, 1]");
-  }
-  if (estimator_window_count < 1) {
-    throw std::invalid_argument("config: estimator window count >= 1");
-  }
-  if (estimator_collect_every_ticks < 1) {
-    throw std::invalid_argument("config: estimator collection period >= 1 tick");
-  }
-  if (ns_min_ttl_sec < 0) throw std::invalid_argument("config: NS min TTL >= 0");
-  if (ns_per_domain < 1) throw std::invalid_argument("config: need >= 1 NS per domain");
-  if (redirect_enabled && redirect_max_wait_sec <= 0) {
-    throw std::invalid_argument("config: redirect max wait must be > 0");
-  }
-  if (redirect_delay_sec < 0) throw std::invalid_argument("config: redirect delay >= 0");
-  if (geo_regions < 0) throw std::invalid_argument("config: geo regions >= 0");
-  if (geo_regions > 0 &&
-      (geo_intra_rtt_sec < 0 || geo_inter_rtt_sec < geo_intra_rtt_sec)) {
-    throw std::invalid_argument("config: need 0 <= intra <= inter RTT");
-  }
-  if (policy.rfind("GEO", 0) == 0 && geo_regions == 0) {
-    throw std::invalid_argument("config: the GEO policy needs geo_regions > 0");
-  }
-  if (trace_enabled && trace_capacity < 1) {
-    throw std::invalid_argument("config: trace capacity >= 1 when tracing");
-  }
-  if (warmup_sec < 0) throw std::invalid_argument("config: warmup >= 0");
-  if (duration_sec <= 0) throw std::invalid_argument("config: duration > 0");
+  // All per-knob range checks and cross-knob constraints live in the
+  // parameter registry, so programmatically built configs are rejected
+  // with exactly the same messages as CLI/env/scenario input.
+  CliOptions wrapped;
+  wrapped.config = *this;
+  ParamRegistry::instance().validate(wrapped);
 }
 
 }  // namespace adattl::experiment

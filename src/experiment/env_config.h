@@ -1,10 +1,16 @@
 #pragma once
 
-// Strict parsing of the ADATTL_* environment knobs shared by the runner,
-// the parallel executor and the benches (ADATTL_REPLICATIONS,
-// ADATTL_DURATION_SEC, ADATTL_JOBS). Malformed values are rejected with a
-// warning on stderr and fall back to the default instead of silently
-// becoming 0 or a half-parsed prefix.
+// Strict parsing of the ADATTL_* environment defaults used by the benches
+// and the parallel executor (ADATTL_REPLICATIONS, ADATTL_DURATION_SEC,
+// ADATTL_JOBS). Malformed values are rejected with a warning on stderr and
+// fall back to the default instead of silently becoming 0 or a
+// half-parsed prefix.
+//
+// Note: for CLI-driven runs (parse_cli / resolve_config), every knob's
+// ADATTL_* override is resolved through the parameter registry
+// (param_registry.cpp) as an explicit precedence layer with provenance —
+// these helpers only back the programmatic bench defaults, where a
+// malformed value should warn rather than abort.
 
 namespace adattl::experiment {
 

@@ -66,10 +66,17 @@ std::string SweepResult::manifest_json() const {
     out += buf;
     std::snprintf(buf, sizeof(buf),
                   "\"phases\":{\"setup_sec\":%.6g,\"warmup_sec\":%.6g,"
-                  "\"measurement_sec\":%.6g,\"collect_sec\":%.6g}}",
+                  "\"measurement_sec\":%.6g,\"collect_sec\":%.6g}",
                   phases.setup_sec, phases.warmup_sec, phases.measurement_sec,
                   phases.collect_sec);
     out += buf;
+    if (p < point_config_json.size() && !point_config_json[p].empty()) {
+      out += ",\"config\":" + point_config_json[p];
+    }
+    if (p < point_provenance_json.size() && !point_provenance_json[p].empty()) {
+      out += ",\"provenance\":" + point_provenance_json[p];
+    }
+    out += "}";
   }
   out += "]}";
   return out;
@@ -98,7 +105,18 @@ SweepResult Sweep::run(ParallelExecutor& executor, ProgressFn on_point_done) con
   out.points.resize(points_.size());
   out.point_cpu_seconds.assign(points_.size(), 0.0);
   out.point_labels.reserve(points_.size());
-  for (const Point& point : points_) out.point_labels.push_back(point.label);
+  out.point_config_json.reserve(points_.size());
+  out.point_provenance_json.reserve(points_.size());
+  const ParamRegistry& registry = ParamRegistry::instance();
+  for (const Point& point : points_) {
+    out.point_labels.push_back(point.label);
+    CliOptions resolved;
+    resolved.config = point.config;
+    resolved.replications = point.replications;
+    out.point_config_json.push_back(registry.config_json(resolved));
+    out.point_provenance_json.push_back(
+        registry.provenance_json(registry.infer_provenance(resolved)));
+  }
 
   // Pre-size every point's run vector so each task owns exactly one slot:
   // result placement is positional, never completion-ordered.
@@ -211,6 +229,14 @@ std::string json_escape(const std::string& s) {
 }
 
 std::string to_json(const SimulationConfig& config, const ReplicatedResult& result) {
+  CliOptions resolved;
+  resolved.config = config;
+  if (!result.runs.empty()) resolved.replications = static_cast<int>(result.runs.size());
+  return to_json(config, result, ParamRegistry::instance().infer_provenance(resolved));
+}
+
+std::string to_json(const SimulationConfig& config, const ReplicatedResult& result,
+                    const ProvenanceMap& provenance) {
   std::string out = "{";
   out += "\"policy\":\"" + json_escape(config.policy) + "\",";
   append_kv(out, "servers", config.cluster.size());
@@ -262,6 +288,16 @@ std::string to_json(const SimulationConfig& config, const ReplicatedResult& resu
     }
   }
   out += "]";
+  // Fully resolved knob values and their provenance, straight from the
+  // parameter registry — the machine-readable "exactly what ran" record.
+  {
+    CliOptions resolved;
+    resolved.config = config;
+    if (!result.runs.empty()) resolved.replications = static_cast<int>(result.runs.size());
+    const ParamRegistry& registry = ParamRegistry::instance();
+    out += ",\"config\":" + registry.config_json(resolved);
+    out += ",\"provenance\":" + registry.provenance_json(provenance);
+  }
   // Per-run observability snapshot (first replication), present only when
   // the run was built with metrics_enabled.
   if (!result.runs.empty() && result.runs.front().metrics) {

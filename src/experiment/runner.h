@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "experiment/parallel_executor.h"
+#include "experiment/param_registry.h"
 #include "experiment/site.h"
 #include "sim/stats.h"
 
@@ -50,12 +51,20 @@ struct SweepResult {
   std::vector<double> point_cpu_seconds;
   /// Point labels in add() order (empty string when none was given).
   std::vector<std::string> point_labels;
+  /// Fully resolved configuration of each point as a JSON object keyed by
+  /// registry knob name (ParamRegistry::config_json), in add() order.
+  std::vector<std::string> point_config_json;
+  /// Per-point provenance JSON (knobs differing from the registry
+  /// defaults, attributed to the code layer), in add() order.
+  std::vector<std::string> point_provenance_json;
   double wall_seconds = 0.0;
   int jobs = 1;
 
   /// Machine-readable sweep manifest: jobs, wall seconds, and per point
-  /// the label, replication count, cpu seconds and the summed wall-clock
-  /// phase breakdown (setup/warmup/measurement/collect) of its runs.
+  /// the label, replication count, cpu seconds, the summed wall-clock
+  /// phase breakdown (setup/warmup/measurement/collect) of its runs, and
+  /// the point's fully resolved config + provenance from the parameter
+  /// registry.
   std::string manifest_json() const;
 };
 
@@ -111,9 +120,15 @@ ReplicatedResult run_policy(SimulationConfig base, const std::string& policy, in
 
 /// Serializes a scenario's headline results as a JSON object (policy,
 /// site shape, P(maxUtil < x) with CIs, utilization, address-rate, DNS
-/// control, response times, per-server utilizations). For dashboards and
-/// scripted sweeps; the schema is flat and stable.
+/// control, response times, per-server utilizations), plus a "config"
+/// object with the fully resolved knob values from the parameter registry
+/// and a "provenance" object recording which layer set each non-default
+/// knob. For dashboards and scripted sweeps; the schema is flat and
+/// stable. Without an explicit provenance map, non-default knobs are
+/// attributed to the code layer (ParamRegistry::infer_provenance).
 std::string to_json(const SimulationConfig& config, const ReplicatedResult& result);
+std::string to_json(const SimulationConfig& config, const ReplicatedResult& result,
+                    const ProvenanceMap& provenance);
 
 /// JSON string escaping as used by to_json: quotes, backslashes and all
 /// control characters (RFC 8259). Exposed for tests and tooling.

@@ -13,6 +13,16 @@ std::string trim(const std::string& s) {
   return s.substr(a, b - a + 1);
 }
 
+/// A '#' starts a comment only at the start of the line or after
+/// whitespace, so values containing '#' (e.g. a faults path like
+/// "chaos#1.faults") survive intact.
+std::size_t comment_start(const std::string& line) {
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '#' && (i == 0 || line[i - 1] == ' ' || line[i - 1] == '\t')) return i;
+  }
+  return std::string::npos;
+}
+
 }  // namespace
 
 std::vector<std::string> scenario_text_to_args(const std::string& text) {
@@ -26,7 +36,7 @@ std::vector<std::string> scenario_text_to_args(const std::string& text) {
     pos = (eol == std::string::npos) ? text.size() + 1 : eol + 1;
     ++line_no;
 
-    const std::size_t hash = line.find('#');
+    const std::size_t hash = comment_start(line);
     if (hash != std::string::npos) line = line.substr(0, hash);
     line = trim(line);
     if (line.empty()) continue;
@@ -46,14 +56,11 @@ std::vector<std::string> scenario_text_to_args(const std::string& text) {
                                   ": empty value for '" + key + "'");
     }
 
-    // Booleans map to presence/absence of the bare flag.
-    if (value == "true") {
-      args.push_back("--" + key);
-    } else if (value == "false") {
-      // omitted
-    } else {
-      args.push_back("--" + key + "=" + value);
-    }
+    // Every line becomes "--key=value" verbatim; the parameter registry
+    // owns key lookup, typing (including booleans — `key = false` now
+    // genuinely switches a default-on knob off) and did-you-mean
+    // diagnostics for unknown keys.
+    args.push_back("--" + key + "=" + value);
   }
   return args;
 }

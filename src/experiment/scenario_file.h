@@ -9,9 +9,12 @@ namespace adattl::experiment {
 ///
 /// Format: one `key = value` per line; keys are the CLI flag names without
 /// the leading dashes (`policy`, `heterogeneity`, `min-ttl`, ...). Boolean
-/// flags take `true`/`false` (false = omit the flag). Repeatable flags
-/// (`shift`, `outage`) may appear on multiple lines. `#` starts a comment;
-/// blank lines are ignored.
+/// knobs take `true`/`false` and genuinely override either way, so a
+/// default-on knob like `calibration` can be switched off from a file.
+/// Repeatable knobs (`shift`, `outage`, the fault windows) may appear on
+/// multiple lines. A `#` at the start of a line or preceded by whitespace
+/// starts a comment (a `#` embedded in a value is kept); blank lines are
+/// ignored.
 ///
 ///     # hot-spot scenario
 ///     policy       = DRR2-TTL/S_K

@@ -13,6 +13,15 @@ std::string trim(const std::string& s) {
   return s.substr(a, b - a + 1);
 }
 
+/// Same comment rule as scenario files: a '#' starts a comment only at the
+/// start of the line or after whitespace, so embedded '#' in values is kept.
+std::size_t comment_start(const std::string& line) {
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '#' && (i == 0 || line[i - 1] == ' ' || line[i - 1] == '\t')) return i;
+  }
+  return std::string::npos;
+}
+
 double parse_number(const std::string& what, const std::string& value) {
   std::size_t pos = 0;
   double out = 0.0;
@@ -160,7 +169,7 @@ FaultSchedule parse_fault_text(const std::string& text) {
     pos = (eol == std::string::npos) ? text.size() + 1 : eol + 1;
     ++line_no;
 
-    const std::size_t hash = line.find('#');
+    const std::size_t hash = comment_start(line);
     if (hash != std::string::npos) line = line.substr(0, hash);
     line = trim(line);
     if (line.empty()) continue;

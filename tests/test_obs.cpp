@@ -376,11 +376,12 @@ TEST(RunnerJson, IncludesMetricsWhenEnabled) {
   EXPECT_NE(json.find("\"metrics\":{"), std::string::npos) << json;
   EXPECT_NE(json.find("\"scheduler.decisions\""), std::string::npos) << json;
 
-  // And absent when disabled.
+  // And absent when disabled. (The resolved-config block still carries the
+  // `"metrics":false` knob; only the snapshot object must disappear.)
   experiment::SimulationConfig plain = obs_config();
   plain.duration_sec = 120.0;
   const experiment::ReplicatedResult rep2 = experiment::run_replications(plain, 1);
-  EXPECT_EQ(experiment::to_json(plain, rep2).find("\"metrics\":"), std::string::npos);
+  EXPECT_EQ(experiment::to_json(plain, rep2).find("\"metrics\":{"), std::string::npos);
 }
 
 }  // namespace

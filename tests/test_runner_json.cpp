@@ -24,16 +24,33 @@ experiment::SimulationConfig tiny_config() {
   return cfg;
 }
 
-// All `"key":` occurrences at the object's top level, in order.
+// All `"key":` occurrences at the object's top level (depth 1), in order;
+// keys inside the nested config/provenance/metrics objects are skipped.
 std::vector<std::string> extract_keys(const std::string& json) {
   std::vector<std::string> keys;
-  std::size_t pos = 0;
-  while ((pos = json.find('"', pos)) != std::string::npos) {
-    const std::size_t end = json.find('"', pos + 1);
-    if (end == std::string::npos) break;
-    const std::string token = json.substr(pos + 1, end - pos - 1);
-    if (end + 1 < json.size() && json[end + 1] == ':') keys.push_back(token);
-    pos = end + 2;
+  int depth = 0;
+  std::size_t i = 0;
+  while (i < json.size()) {
+    const char c = json[i];
+    if (c == '{' || c == '[') {
+      ++depth;
+      ++i;
+    } else if (c == '}' || c == ']') {
+      --depth;
+      ++i;
+    } else if (c == '"') {
+      std::size_t end = i + 1;
+      while (end < json.size() && json[end] != '"') {
+        end += json[end] == '\\' ? 2 : 1;
+      }
+      if (end >= json.size()) break;
+      if (depth == 1 && end + 1 < json.size() && json[end + 1] == ':') {
+        keys.push_back(json.substr(i + 1, end - i - 1));
+      }
+      i = end + 1;
+    } else {
+      ++i;
+    }
   }
   return keys;
 }
@@ -69,6 +86,8 @@ TEST(RunnerJson, SchemaKeySetIsStable) {
       "dns_outage_sec",
       "unavailability_fraction",
       "mean_server_utilization",
+      "config",
+      "provenance",
   };
   EXPECT_EQ(extract_keys(json), expected);
   EXPECT_EQ(json.front(), '{');

@@ -20,12 +20,30 @@ TEST(ScenarioText, ParsesKeysValuesCommentsBlanks) {
                                             "--min-ttl=60"}));
 }
 
-TEST(ScenarioText, BooleansMapToBareFlags) {
+TEST(ScenarioText, BooleansPassThroughExplicitly) {
+  // `key = false` must survive translation (it used to be silently
+  // dropped, making default-on knobs impossible to disable from a file).
   const std::vector<std::string> args = scenario_text_to_args(
       "uniform = true\n"
       "measured = false\n"
       "client-cache = true\n");
-  EXPECT_EQ(args, (std::vector<std::string>{"--uniform", "--client-cache"}));
+  EXPECT_EQ(args, (std::vector<std::string>{"--uniform=true", "--measured=false",
+                                            "--client-cache=true"}));
+}
+
+TEST(ScenarioText, FalseTurnsOffDefaultOnKnob) {
+  const CliOptions opt = parse_cli(scenario_text_to_args("calibration = false\n"));
+  EXPECT_FALSE(opt.config.calibrate_ttl);
+}
+
+TEST(ScenarioText, HashInsideValueIsNotAComment) {
+  // Only '#' at the start of a line or preceded by whitespace begins a
+  // comment; an embedded '#' (e.g. a fault-file path) is part of the value.
+  const std::vector<std::string> args = scenario_text_to_args(
+      "faults = chaos#1.faults\n"
+      "policy = RR # real comment\n"
+      "# full-line comment\n");
+  EXPECT_EQ(args, (std::vector<std::string>{"--faults=chaos#1.faults", "--policy=RR"}));
 }
 
 TEST(ScenarioText, RepeatableKeys) {
