@@ -125,9 +125,17 @@ std::vector<double> DomainModel::class_mean_weights(int num_classes) const {
   for (std::size_t c = 0; c < sum.size(); ++c) {
     if (cnt[c] > 0) sum[c] /= cnt[c];
   }
-  // An empty bucket (possible with log-spaced classes) inherits the weight
-  // of the nearest hotter non-empty bucket so TTL factors stay monotone.
-  for (std::size_t c = 1; c < sum.size(); ++c) {
+  // Empty buckets inherit a neighbour's mean so TTL factors stay monotone
+  // and finite. Leading empties (the γ-threshold "hot" class when no
+  // domain's share clears γ) take the hottest non-empty bucket's mean —
+  // the split degenerates to one class instead of reporting a zero
+  // "hottest" mean that would blow up every TTL factor (found by the
+  // proptest_ttl_fairness randomized suite). Trailing empties (possible
+  // with log-spaced classes) inherit the nearest hotter bucket as before.
+  std::size_t first = 0;
+  while (first < sum.size() && cnt[first] == 0) ++first;
+  for (std::size_t c = 0; c < first; ++c) sum[c] = sum[first];
+  for (std::size_t c = first + 1; c < sum.size(); ++c) {
     if (cnt[c] == 0) sum[c] = sum[c - 1];
   }
   return sum;

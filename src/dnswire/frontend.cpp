@@ -12,6 +12,13 @@ DnsFrontend::DnsFrontend(core::DnsScheduler& scheduler, std::string site_name,
   if (site_name_.empty()) throw std::invalid_argument("DnsFrontend: empty site name");
   if (server_ipv4_.empty()) throw std::invalid_argument("DnsFrontend: no server addresses");
   for (char& c : site_name_) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  // Every answer echoes this name (positive answers anchor their A record
+  // on it), so a name the wire format cannot express would turn each
+  // response into a silent drop. Fail construction instead.
+  std::vector<std::uint8_t> scratch;
+  if (!encode_name(site_name_, &scratch)) {
+    throw std::invalid_argument("DnsFrontend: site name is not encodable as a DNS name");
+  }
 }
 
 void DnsFrontend::set_outages(const fault::DnsOutageCalendar* calendar,

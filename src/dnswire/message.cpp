@@ -161,15 +161,29 @@ std::vector<std::uint8_t> encode_a_response(const Header& query_header,
   h.aa = true;
   h.rd = query_header.rd;
   h.rcode = rcode;
-  h.qdcount = 1;
+
+  // Echo the question when it survives re-encoding. decode_name accepts
+  // names encode_name must reject — the root name (empty), labels
+  // containing '.' bytes, 255-character dotted forms whose wire form
+  // exceeds 255 bytes — so an error response to such a question omits the
+  // echo (qdcount 0) instead of failing: the resolver still gets its
+  // rcode and id. Found by the proptest dnswire fuzzer (corpus:
+  // root-name-query, label-with-dot-byte, overlong-echo-name).
+  std::vector<std::uint8_t> question_section;
+  const bool echo = encode_name(question.qname, &question_section);
+  if (echo) {
+    put16(&question_section, question.qtype);
+    put16(&question_section, question.qclass);
+  }
+  h.qdcount = echo ? 1 : 0;
   h.ancount = (rcode == kRcodeNoError) ? 1 : 0;
+  // A positive answer anchors its owner name on the echoed question via a
+  // compression pointer, so it cannot be built without one.
+  if (!echo && rcode == kRcodeNoError) return {};
 
   std::vector<std::uint8_t> out;
   encode_header(&out, h);
-  // Echo the question.
-  if (!encode_name(question.qname, &out)) return {};
-  put16(&out, question.qtype);
-  put16(&out, question.qclass);
+  out.insert(out.end(), question_section.begin(), question_section.end());
   if (rcode != kRcodeNoError) return out;
 
   // Answer: pointer to the question name at offset 12 (0xc00c).

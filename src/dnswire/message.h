@@ -75,7 +75,11 @@ bool decode_query(const std::vector<std::uint8_t>& wire, Header* header, Questio
 
 /// Builds the authoritative response to `question`: one A record with the
 /// given IPv4 (host byte order) and TTL, or an empty answer section when
-/// `rcode` is non-zero.
+/// `rcode` is non-zero. A question whose name cannot be re-encoded (the
+/// decoder accepts names the encoder must reject, e.g. the root name) is
+/// omitted from an error response (qdcount 0) rather than failing; a
+/// positive answer needs the echo as its compression-pointer anchor, so
+/// only that combination returns an empty vector.
 std::vector<std::uint8_t> encode_a_response(const Header& query_header,
                                             const Question& question, std::uint32_t ipv4,
                                             std::uint32_t ttl_sec,

@@ -876,6 +876,15 @@ ConfigResolution ParamRegistry::resolve(const std::vector<std::string>& cli_args
   return r;
 }
 
+ConfigResolution ParamRegistry::resolve_flags(const std::vector<std::string>& flags) const {
+  ConfigResolution r;
+  for (const std::string& arg : flags) {
+    apply_arg(r, arg, ParamLayer::kCli);
+  }
+  validate(r.options);
+  return r;
+}
+
 void ParamRegistry::validate(const CliOptions& opt) const {
   for (const ParamSpec& spec : specs_) {
     if (spec.check) spec.check(opt);

@@ -103,6 +103,13 @@ class ParamRegistry {
   /// result; throws std::invalid_argument naming the offending source.
   ConfigResolution resolve(const std::vector<std::string>& cli_args) const;
 
+  /// Environment-free resolution: defaults plus the given "--key=value"
+  /// flags at the CLI layer, validated exactly like a user invocation but
+  /// with no ADATTL_* interference and no scenario files. This is the
+  /// repro hook the property-test harness builds on: a generated config is
+  /// a flag list, and dump_scenario() of the result is its repro scenario.
+  ConfigResolution resolve_flags(const std::vector<std::string>& flags) const;
+
   /// Applies one "--key[=value]" argument at the given layer.
   void apply_arg(ConfigResolution& r, const std::string& arg, ParamLayer layer) const;
 

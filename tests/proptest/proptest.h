@@ -1,0 +1,108 @@
+#pragma once
+
+// Randomized property-test harness.
+//
+// Every suite is a loop over derived case seeds; each case draws a
+// randomized-but-valid SimulationConfig through the parameter registry
+// (so generated configs are validated exactly like user configs) and
+// asserts an invariant that must hold for EVERY configuration. A failure
+// prints the exact seed plus a --dump-config-style repro scenario, and the
+// failing seed replays in one command:
+//
+//   ADATTL_PROPERTY_SEED=<seed> ./build/tests/proptest/<suite binary>
+//
+// Environment knobs:
+//   ADATTL_PROPERTY_ITERS     iteration budget per property (CI keeps it
+//                             small, nightly runs deep; default per suite)
+//   ADATTL_PROPERTY_SEED      replay exactly one case seed and stop
+//   ADATTL_PROPERTY_BASE_SEED perturbs every derived case seed (nightly
+//                             exploration); the printed failing seed is
+//                             already absolute, so replays stay one-command
+//   ADATTL_PROPERTY_DUMP_DIR  write failing repro scenarios here (CI
+//                             uploads the directory as an artifact)
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "experiment/param_registry.h"
+#include "sim/random.h"
+
+namespace adattl::proptest {
+
+/// Iteration budget: ADATTL_PROPERTY_ITERS when set (strictly parsed,
+/// >= 1), else `local_default`. A pinned ADATTL_PROPERTY_SEED forces 1.
+int iterations(int local_default = 100);
+
+/// The per-iteration case seed: splitmix-derived from the suite name, the
+/// iteration index, and ADATTL_PROPERTY_BASE_SEED (0 when unset) — stable
+/// across runs, distinct across suites.
+std::uint64_t case_seed(const std::string& suite, int iteration);
+
+/// One generated configuration: the flag list it was built from plus the
+/// registry resolution (options + provenance). The flags ARE the repro:
+/// `run_scenario <flags>` re-creates the exact run.
+struct GeneratedConfig {
+  std::vector<std::string> flags;
+  experiment::ConfigResolution resolution;
+
+  const experiment::SimulationConfig& config() const { return resolution.options.config; }
+  /// "run_scenario --domains=12 --policy=... " one-command repro.
+  std::string command_line() const;
+  /// The --dump-config-style scenario text (registry dump_scenario).
+  std::string scenario_text() const;
+};
+
+/// What a draw is for. kShortRun keeps populations and horizons small
+/// enough that a 100-iteration property finishes in seconds; kFaulted
+/// additionally draws a random fault plan (crashes, degradations, pauses,
+/// authoritative-DNS outages) inside the horizon.
+enum class Profile { kShortRun, kFaulted };
+
+/// Draws randomized-but-valid configurations through the param registry.
+/// Ranges are documented in DESIGN.md §14.
+class ConfigGen {
+ public:
+  explicit ConfigGen(sim::RngStream& rng) : rng_(rng) {}
+
+  GeneratedConfig draw(Profile profile);
+
+  /// A random policy name from the full selection × TTL-flavour grammar.
+  /// "GEO" callers must enable geo-regions (draw() does).
+  std::string draw_policy_name();
+
+ private:
+  sim::RngStream& rng_;
+};
+
+/// One property case handed to the suite body: the seed (already printed
+/// on failure), a stream derived from it, and a slot for the generated
+/// config so failure reporting can dump the repro scenario after the body
+/// returns (the case owns the config — no dangling repro).
+struct PropertyCase {
+  std::uint64_t seed = 0;
+  sim::RngStream rng;
+  /// Set by the body when it draws a full config; the failure banner then
+  /// includes the flag list + scenario dump, and the scenario is written
+  /// to ADATTL_PROPERTY_DUMP_DIR.
+  std::optional<GeneratedConfig> attached;
+
+  explicit PropertyCase(std::uint64_t s) : seed(s), rng(s) {}
+  /// Stores the generated config and returns a stable reference to it.
+  const GeneratedConfig& attach(GeneratedConfig gc) {
+    attached = std::move(gc);
+    return *attached;
+  }
+};
+
+/// The per-property iteration loop. Runs `body` once per case seed under a
+/// SCOPED_TRACE naming suite + seed; on the first gtest failure it prints
+/// the repro banner (seed, replay command, flag list, scenario dump),
+/// writes the scenario to ADATTL_PROPERTY_DUMP_DIR when set, and stops —
+/// one minimal repro beats a hundred copies of the same failure.
+void for_each_case(const std::string& suite, int local_default_iters,
+                   const std::function<void(PropertyCase&)>& body);
+
+}  // namespace adattl::proptest

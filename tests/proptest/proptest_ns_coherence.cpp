@@ -1,0 +1,193 @@
+// NS cache coherence on randomized query traces (ROADMAP invariant): no
+// mapping is ever served past its TTL unless it is an explicit stale
+// serve during an authoritative outage — and stale serves are stamped
+// already-expired so nothing downstream caches them. The test mirrors the
+// name server's entire observable state machine (cache freshness, backoff
+// ladder, counter deltas) in an independent oracle and checks every query
+// of a random trace against it, under random TTL behaviors, retry
+// policies, outage calendars and scheduling policies.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/policy_factory.h"
+#include "dnscache/name_server.h"
+#include "fault/dns_outage.h"
+#include "geo/geo_model.h"
+#include "proptest.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace adattl {
+namespace {
+
+using proptest::for_each_case;
+using proptest::PropertyCase;
+
+TEST(NsCoherenceProperty, NoMappingOutlivesItsTtl) {
+  for_each_case("proptest_ns_coherence", 100, [](PropertyCase& pc) {
+    sim::RngStream& rng = pc.rng;
+    sim::Simulator simulator;
+
+    const int n = static_cast<int>(rng.uniform_int(2, 10));
+    const int k = static_cast<int>(rng.uniform_int(3, 30));
+    core::AlarmRegistry alarms(n, 0.9);
+    core::SchedulerFactoryConfig fc;
+    fc.capacities.resize(static_cast<std::size_t>(n));
+    for (double& c : fc.capacities) c = rng.uniform(10.0, 500.0);
+    fc.initial_weights.resize(static_cast<std::size_t>(k));
+    for (double& w : fc.initial_weights) w = rng.uniform(0.05, 5.0);
+    fc.class_threshold = rng.uniform(0.01, 0.3);
+    fc.reference_ttl = rng.uniform(20.0, 400.0);
+    fc.geo = std::make_shared<const geo::GeoModel>(
+        geo::GeoModel::regions(k, n, 3, 0.02, 0.15));
+    proptest::ConfigGen gen(rng);
+    const std::string policy = gen.draw_policy_name();
+    SCOPED_TRACE("policy=" + policy);
+    core::SchedulerBundle b = core::make_scheduler(policy, fc, alarms, simulator, rng);
+
+    dnscache::NsTtlBehavior behavior;
+    if (rng.bernoulli(0.5)) {
+      behavior.min_accepted_sec = rng.uniform(1.0, 90.0);
+      if (rng.bernoulli(0.5)) behavior.override_sec = rng.uniform(0.0, 150.0);
+    }
+    dnscache::NameServer ns(simulator, static_cast<int>(rng.uniform_int(0, k - 1)),
+                            *b.scheduler, behavior);
+
+    // An outage calendar most of the time — coherence under failure is the
+    // interesting half of the invariant.
+    fault::DnsOutageCalendar calendar;
+    dnscache::NsRetryPolicy retry;
+    const bool outages = rng.bernoulli(0.6);
+    if (outages) {
+      std::vector<fault::DnsOutageWindow> windows;
+      const int w = static_cast<int>(rng.uniform_int(1, 4));
+      for (int i = 0; i < w; ++i) {
+        windows.push_back({rng.uniform(0.0, 2000.0), rng.uniform(5.0, 400.0)});
+      }
+      calendar = fault::DnsOutageCalendar(std::move(windows));
+      retry.initial_backoff_sec = rng.uniform(0.3, 3.0);
+      retry.multiplier = rng.uniform(1.0, 4.0);
+      retry.max_backoff_sec = retry.initial_backoff_sec * rng.uniform(1.0, 40.0);
+      ns.set_dns_outages(&calendar, retry);
+    }
+
+    // The independent mirror of everything resolve_mapping() may do.
+    struct Oracle {
+      web::ServerId server = -1;
+      double expires = -std::numeric_limits<double>::infinity();
+      double next_attempt = 0.0;
+      double backoff = 0.0;
+    } o;
+    std::uint64_t cold_failures = 0;
+
+    const int queries = static_cast<int>(rng.uniform_int(100, 400));
+    std::vector<double> times(static_cast<std::size_t>(queries));
+    for (double& t : times) t = rng.uniform(0.001, 2500.0);
+    std::sort(times.begin(), times.end());
+
+    for (double t : times) {
+      simulator.run_until(t);
+      const std::uint64_t hits0 = ns.cache_hits();
+      const std::uint64_t auth0 = ns.authoritative_queries();
+      const std::uint64_t stale0 = ns.stale_serves();
+      const std::uint64_t fail0 = ns.failed_queries();
+
+      const bool fresh = o.server >= 0 && t < o.expires;
+      const dnscache::Mapping m = ns.resolve_mapping();
+      SCOPED_TRACE("t=" + std::to_string(t));
+
+      if (fresh) {
+        // Within TTL: answered locally, nothing else moves.
+        ASSERT_EQ(ns.cache_hits(), hits0 + 1);
+        ASSERT_EQ(ns.authoritative_queries(), auth0);
+        ASSERT_EQ(ns.stale_serves(), stale0);
+        ASSERT_EQ(ns.failed_queries(), fail0);
+        ASSERT_EQ(m.server, o.server);
+        ASSERT_EQ(m.expires_at, o.expires);
+      } else if (outages && (t < o.next_attempt || calendar.unreachable(t))) {
+        // Unreachable (in outage, or inside the backoff window): exactly
+        // one real attempt per backoff window, stale-serve if possible,
+        // and — the coherence core — the answer is stamped expired NOW.
+        const bool attempt = t >= o.next_attempt;
+        if (attempt) {
+          o.backoff = o.backoff == 0.0 ? retry.initial_backoff_sec
+                                       : std::min(o.backoff * retry.multiplier,
+                                                  retry.max_backoff_sec);
+          o.next_attempt = t + o.backoff;
+        }
+        ASSERT_EQ(ns.failed_queries(), fail0 + (attempt ? 1 : 0));
+        ASSERT_EQ(ns.authoritative_queries(), auth0);  // never schedules upstream
+        ASSERT_EQ(ns.cache_hits(), hits0);
+        ASSERT_EQ(m.expires_at, t);  // never cacheable downstream
+        if (o.server >= 0) {
+          ASSERT_EQ(ns.stale_serves(), stale0 + 1);
+          ASSERT_EQ(m.server, o.server);
+        } else {
+          ASSERT_EQ(ns.stale_serves(), stale0);
+          ASSERT_EQ(m.server, -1);
+          ++cold_failures;
+        }
+      } else {
+        // Reachable and expired: one authoritative decision, backoff reset,
+        // effective TTL honors the non-cooperative threshold.
+        o.backoff = 0.0;
+        ASSERT_EQ(ns.authoritative_queries(), auth0 + 1);
+        ASSERT_EQ(ns.cache_hits(), hits0);
+        ASSERT_EQ(ns.stale_serves(), stale0);
+        ASSERT_EQ(ns.failed_queries(), fail0);
+        ASSERT_GE(m.server, 0);
+        ASSERT_LT(m.server, n);
+        const double effective = m.expires_at - t;
+        ASSERT_GT(effective, 0.0);
+        ASSERT_GE(effective, behavior.min_accepted_sec - 1e-9);
+        o.server = m.server;
+        o.expires = m.expires_at;
+      }
+
+      // The law itself, independent of branch bookkeeping: an answer that
+      // claims future validity is backed by a fresh cache entry or a
+      // brand-new authoritative mapping, never by a stale serve.
+      if (m.expires_at > t) {
+        ASSERT_TRUE(ns.cache_hits() == hits0 + 1 || ns.authoritative_queries() == auth0 + 1);
+      }
+    }
+
+    // Every query is exactly one of: local hit, authoritative refresh,
+    // stale serve, or cold failure.
+    EXPECT_EQ(ns.cache_hits() + ns.authoritative_queries() + ns.stale_serves() + cold_failures,
+              static_cast<std::uint64_t>(queries));
+    // And the scheduler made exactly one decision per authoritative query.
+    EXPECT_EQ(b.scheduler->decisions(), ns.authoritative_queries());
+  });
+}
+
+TEST(NsCoherenceProperty, EffectiveTtlRespectsTheThreshold) {
+  for_each_case("proptest_ns_coherence", 100, [](PropertyCase& pc) {
+    sim::RngStream& rng = pc.rng;
+    for (int i = 0; i < 200; ++i) {
+      dnscache::NsTtlBehavior b;
+      if (rng.bernoulli(0.7)) {
+        b.min_accepted_sec = rng.uniform(0.0, 120.0);
+        if (rng.bernoulli(0.5)) b.override_sec = rng.uniform(0.0, 240.0);
+      }
+      // Schedulers only emit positive TTLs, but the cache guard must hold
+      // for garbage too (a record must never be cached for <= 0 seconds).
+      const double proposed = rng.bernoulli(0.1) ? rng.uniform(-5.0, 0.0)
+                                                 : rng.uniform(0.001, 600.0);
+      const double eff = b.effective_ttl(proposed);
+      ASSERT_GT(eff, 0.0);
+      ASSERT_GE(eff, b.min_accepted_sec);
+      if (proposed > 0.0 && proposed >= b.min_accepted_sec) {
+        ASSERT_EQ(eff, proposed);
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace adattl

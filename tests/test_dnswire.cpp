@@ -136,6 +136,119 @@ TEST(DnsMessage, ErrorResponseHasNoAnswer) {
   EXPECT_EQ(rh.ancount, 0);
 }
 
+// ------------------------------------------------------------- goldens
+//
+// Exact wire images, byte for byte, per RFC 1035 §4.1. These pin the
+// encoder's output format so a layout regression (field order, endianness,
+// label framing) cannot hide behind a symmetric decode bug: the decoder is
+// then driven from the SAME golden bytes, not from the encoder's output.
+
+TEST(DnsGolden, AQueryWireImage) {
+  const std::vector<std::uint8_t> golden = {
+      0x12, 0x34,              // id
+      0x01, 0x00,              // flags: QR=0 opcode=0 RD=1
+      0x00, 0x01,              // qdcount
+      0x00, 0x00,              // ancount
+      0x00, 0x00,              // nscount
+      0x00, 0x00,              // arcount
+      3,    'w',  'w',  'w',   // qname
+      4,    's',  'i',  't',  'e',
+      3,    'o',  'r',  'g',  0,
+      0x00, 0x01,              // qtype A
+      0x00, 0x01,              // qclass IN
+  };
+  EXPECT_EQ(encode_query(0x1234, "www.site.org"), golden);
+
+  Header h;
+  Question q;
+  ASSERT_TRUE(decode_query(golden, &h, &q));
+  EXPECT_EQ(h.id, 0x1234);
+  EXPECT_FALSE(h.qr);
+  EXPECT_TRUE(h.rd);
+  EXPECT_EQ(q.qname, "www.site.org");
+  EXPECT_EQ(q.qtype, kTypeA);
+  EXPECT_EQ(q.qclass, kClassIn);
+}
+
+TEST(DnsGolden, NsQueryWireImage) {
+  const std::vector<std::uint8_t> golden = {
+      0xAB, 0xCD,                   // id
+      0x00, 0x00,                   // flags: RD=0
+      0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      4,    's',  'i',  't',  'e',  // qname
+      3,    'o',  'r',  'g',  0,
+      0x00, 0x02,                   // qtype NS
+      0x00, 0x01,                   // qclass IN
+  };
+  EXPECT_EQ(encode_query(0xABCD, "site.org", /*qtype=*/2, kClassIn,
+                         /*recursion_desired=*/false),
+            golden);
+
+  Header h;
+  Question q;
+  ASSERT_TRUE(decode_query(golden, &h, &q));
+  EXPECT_FALSE(h.rd);
+  EXPECT_EQ(q.qname, "site.org");
+  EXPECT_EQ(q.qtype, 2u);
+}
+
+TEST(DnsGolden, Edns0QueryDecodesLikeItsPlainTwin) {
+  // The same A question with an RFC 6891 OPT pseudo-RR in the additional
+  // section (arcount 1). Our decoder reads only the header and the first
+  // question, so the OPT record must be invisible: both images decode to
+  // identical (header-modulo-arcount, question) pairs.
+  std::vector<std::uint8_t> plain = encode_query(0x0042, "www.site.org");
+  std::vector<std::uint8_t> edns = plain;
+  edns[11] = 1;  // arcount: 0 -> 1
+  const std::uint8_t opt[] = {
+      0x00,                    // owner: root name
+      0x00, 0x29,              // type OPT (41)
+      0x04, 0xd0,              // "class": udp payload size 1232
+      0x00, 0x00, 0x00, 0x00,  // "ttl": ext-rcode/version/flags
+      0x00, 0x00,              // rdlength 0
+  };
+  edns.insert(edns.end(), std::begin(opt), std::end(opt));
+
+  Header hp, he;
+  Question qp, qe;
+  ASSERT_TRUE(decode_query(plain, &hp, &qp));
+  ASSERT_TRUE(decode_query(edns, &he, &qe));
+  EXPECT_EQ(he.arcount, 1u);
+  EXPECT_EQ(hp.id, he.id);
+  EXPECT_EQ(qp.qname, qe.qname);
+  EXPECT_EQ(qp.qtype, qe.qtype);
+  EXPECT_EQ(qp.qclass, qe.qclass);
+}
+
+TEST(DnsGolden, AResponseWireImage) {
+  Header qh;
+  qh.id = 0x1234;
+  qh.rd = true;
+  const Question q{"www.site.org", kTypeA, kClassIn};
+  const std::vector<std::uint8_t> golden = {
+      0x12, 0x34,              // id echoed
+      0x85, 0x00,              // QR=1 AA=1 RD=1 RA=0 rcode=0
+      0x00, 0x01,              // qdcount: question echoed
+      0x00, 0x01,              // ancount
+      0x00, 0x00, 0x00, 0x00,  // nscount, arcount
+      3,    'w',  'w',  'w',  4, 's', 'i', 't', 'e', 3, 'o', 'r', 'g', 0,
+      0x00, 0x01, 0x00, 0x01,  // question qtype/qclass
+      0xc0, 0x0c,              // answer owner: pointer to offset 12
+      0x00, 0x01,              // type A
+      0x00, 0x01,              // class IN
+      0x00, 0x00, 0x00, 0x2b,  // ttl 43
+      0x00, 0x04,              // rdlength
+      0x0a, 0x00, 0x00, 0x01,  // 10.0.0.1
+  };
+  EXPECT_EQ(encode_a_response(qh, q, 0x0A000001, 43), golden);
+
+  Header rh;
+  std::uint32_t ip = 0, ttl = 0;
+  ASSERT_TRUE(decode_a_response(golden, &rh, &ip, &ttl));
+  EXPECT_EQ(ip, 0x0A000001u);
+  EXPECT_EQ(ttl, 43u);
+}
+
 TEST(DnsMessage, DecodeQueryRejectsGarbage) {
   Header h;
   Question q;

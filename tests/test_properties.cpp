@@ -1,15 +1,14 @@
 // Property-based suites (parameterized gtest): invariants that must hold
 // for EVERY scheduling algorithm, heterogeneity level and domain count —
-// scheduler validity, TTL positivity/calibration, conservation laws of a
-// full simulation, and monotonicity of the class structure.
+// scheduler validity, TTL positivity/calibration, and monotonicity of the
+// class structure. Randomized-config invariants (conservation laws, TTL
+// fairness, NS coherence, crash accounting) live in tests/proptest/.
 #include <gtest/gtest.h>
-
-#include <numeric>
 
 #include "core/policy_factory.h"
 #include "core/ttl_policy.h"
-#include "experiment/site.h"
 #include "sim/random.h"
+#include "web/cluster.h"
 
 namespace adattl {
 namespace {
@@ -216,60 +215,11 @@ INSTANTIATE_TEST_SUITE_P(DomainsByHetByClasses, TtlCalibrationProperty,
                          });
 
 // ---------------------------------------------------------------------
-// Property 3: conservation laws of a full short simulation, swept over a
-// representative policy subset.
+// Property 3 (conservation laws of a full simulation) moved to
+// tests/proptest/proptest_conservation.cpp, which runs the shared
+// checker in tests/proptest/invariants.h on both the representative
+// policy subset and fully randomized configurations.
 // ---------------------------------------------------------------------
-
-class SimulationConservation : public ::testing::TestWithParam<std::string> {};
-
-TEST_P(SimulationConservation, CountsAreConsistent) {
-  experiment::SimulationConfig cfg;
-  cfg.cluster = web::table2_cluster(50);
-  cfg.policy = GetParam();
-  cfg.warmup_sec = 100.0;
-  cfg.duration_sec = 900.0;
-  cfg.seed = 31;
-  experiment::Site site(cfg);
-  const experiment::RunResult r = site.run();
-
-  // Authoritative decisions == scheduler decisions == NS misses.
-  EXPECT_EQ(r.authoritative_queries, site.scheduler().decisions());
-  // Hits flow only through the cluster's domain counters.
-  std::uint64_t counted = 0;
-  std::uint64_t served_pages = 0;
-  for (int s = 0; s < site.cluster().size(); ++s) {
-    const auto& per_domain = site.cluster().server(s).lifetime_domain_hits();
-    counted = std::accumulate(per_domain.begin(), per_domain.end(), counted);
-    served_pages += site.cluster().server(s).pages_served();
-  }
-  // Counters record submissions; a handful of pages may still be queued at
-  // the horizon.
-  EXPECT_GE(counted, r.total_hits);
-  EXPECT_LE(counted - r.total_hits, 15u * site.cluster().size() * 4u);
-  // Every page requested was either served or is still in flight.
-  EXPECT_GE(r.total_pages, served_pages);
-  EXPECT_LE(r.total_pages - served_pages, 64u);
-  // Assignments sum to decisions.
-  std::uint64_t assigned = 0;
-  for (std::uint64_t a : site.scheduler().assignments()) assigned += a;
-  EXPECT_EQ(assigned, site.scheduler().decisions());
-  // Utilizations are physical.
-  for (double u : r.mean_server_util) {
-    EXPECT_GE(u, 0.0);
-    EXPECT_LE(u, 1.0 + 1e-9);
-  }
-}
-
-INSTANTIATE_TEST_SUITE_P(RepresentativePolicies, SimulationConservation,
-                         ::testing::Values("RR", "RR2", "DAL", "PRR-TTL/1", "PRR2-TTL/K",
-                                           "DRR-TTL/S_2", "DRR2-TTL/S_K"),
-                         [](const ::testing::TestParamInfo<std::string>& info) {
-                           std::string n = info.param;
-                           for (char& c : n) {
-                             if (c == '-' || c == '/') c = '_';
-                           }
-                           return n;
-                         });
 
 // ---------------------------------------------------------------------
 // Property 4: domain partitions are weight-monotone for any class count.

@@ -3,17 +3,41 @@
 # BENCH_kernel.json perf baseline (items/sec per benchmark) for trajectory
 # tracking across PRs.
 #
-# Usage: tools/run_benches.sh [build-dir] [output-json]
-#   build-dir    defaults to ./build (must already be built)
+# Usage: tools/run_benches.sh [--release] [build-dir] [output-json]
+#   --release    configure + build an optimized tree (CMAKE_BUILD_TYPE=Release)
+#                in the build dir first (default dir becomes ./build-release),
+#                so the captured numbers are never from a debug binary
+#   build-dir    defaults to ./build (./build-release with --release);
+#                without --release it must already be built
 #   output-json  defaults to ./BENCH_kernel.json
 #
 # The full google-benchmark JSON dumps are kept next to the output as
 # BENCH_kernel.raw.<target>.json for anyone who wants the details.
 set -euo pipefail
 
-BUILD_DIR="${1:-build}"
+RELEASE=0
+if [[ "${1:-}" == "--release" ]]; then
+  RELEASE=1
+  shift
+fi
+
+BUILD_DIR="${1:-$([[ ${RELEASE} -eq 1 ]] && echo build-release || echo build)}"
 OUT="${2:-BENCH_kernel.json}"
 FILTER='BM_SchedulePop|BM_SteadyStateChurn|BM_CancelHeavy|BM_FullSite'
+
+if [[ ${RELEASE} -eq 1 ]]; then
+  echo "configuring Release tree in ${BUILD_DIR} ..." >&2
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >&2
+  cmake --build "${BUILD_DIR}" -j \
+        --target micro_event_queue micro_simulation micro_obs micro_fault >&2
+fi
+
+# The google-benchmark "library_build_type" context reports how the
+# *library* was compiled (the distro package says "debug"), which says
+# nothing about our binaries. Record the tree's actual CMAKE_BUILD_TYPE so
+# a baseline captured from a debug build can never masquerade as Release.
+BENCH_BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "${BUILD_DIR}/CMakeCache.txt" 2>/dev/null || true)"
+export BENCH_BUILD_TYPE="${BENCH_BUILD_TYPE:-unspecified}"
 
 for target in micro_event_queue micro_simulation; do
   bin="${BUILD_DIR}/bench/${target}"
@@ -30,7 +54,7 @@ done
 
 python3 - "${OUT}" "${OUT%.json}.raw.micro_event_queue.json" \
                    "${OUT%.json}.raw.micro_simulation.json" <<'PY'
-import json, sys
+import json, os, sys
 
 out_path, *raw_paths = sys.argv[1:]
 distilled = {}
@@ -42,7 +66,7 @@ for path in raw_paths:
     context.setdefault("date", ctx.get("date"))
     context.setdefault("host_name", ctx.get("host_name"))
     context.setdefault("num_cpus", ctx.get("num_cpus"))
-    context.setdefault("build_type", ctx.get("library_build_type"))
+    context.setdefault("build_type", os.environ.get("BENCH_BUILD_TYPE", "unspecified"))
     for b in dump.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
             continue
@@ -72,7 +96,7 @@ echo "running ${obs_bin} ..." >&2
              --benchmark_out_format=json > /dev/null
 
 python3 - "${OBS_OUT}" "${OBS_OUT%.json}.raw.micro_obs.json" <<'PY'
-import json, sys
+import json, os, sys
 
 out_path, raw_path = sys.argv[1:]
 with open(raw_path) as f:
@@ -98,7 +122,7 @@ with open(out_path, "w") as f:
     json.dump({"context": {"date": ctx.get("date"),
                            "host_name": ctx.get("host_name"),
                            "num_cpus": ctx.get("num_cpus"),
-                           "build_type": ctx.get("library_build_type")},
+                           "build_type": os.environ.get("BENCH_BUILD_TYPE", "unspecified")},
                "benchmarks": distilled,
                "summary": summary}, f, indent=2, sort_keys=True)
     f.write("\n")
@@ -201,7 +225,7 @@ with open(out_path, "w") as f:
     json.dump({"context": {"date": ctx.get("date"),
                            "host_name": ctx.get("host_name"),
                            "num_cpus": ctx.get("num_cpus"),
-                           "build_type": ctx.get("library_build_type")},
+                           "build_type": os.environ.get("BENCH_BUILD_TYPE", "unspecified")},
                "benchmarks": distilled,
                "summary": summary}, f, indent=2, sort_keys=True)
     f.write("\n")
