@@ -1,0 +1,87 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "web/types.h"
+
+namespace adattl::dnswire {
+
+/// EDNS0 Client-Subnet (RFC 7871) support: the daemon keys its hidden-load
+/// estimate on the *client's* subnet when the resolver forwards one,
+/// instead of hashing the resolver's source address. This is the
+/// information structure the paper's DomainId abstracts: requests from one
+/// subnet share one local name server population.
+
+inline constexpr std::uint16_t kTypeOpt = 41;        ///< OPT pseudo-RR (RFC 6891)
+inline constexpr std::uint16_t kOptionClientSubnet = 8;  ///< ECS option code
+
+inline constexpr std::uint16_t kEcsFamilyIpv4 = 1;
+inline constexpr std::uint16_t kEcsFamilyIpv6 = 2;
+
+/// One parsed ECS option. `address` holds exactly ceil(source_prefix/8)
+/// bytes (the wire form), masked so bits past the prefix are zero.
+struct ClientSubnet {
+  std::uint16_t family = 0;
+  std::uint8_t source_prefix = 0;
+  std::uint8_t scope_prefix = 0;
+  std::uint8_t address_len = 0;           ///< bytes of `address` in use
+  std::array<std::uint8_t, 16> address{};  ///< network byte order, masked
+};
+
+/// What scanning a query for an ECS option concluded.
+enum class EcsResult {
+  kAbsent,     ///< no OPT RR, or an OPT without an ECS option
+  kPresent,    ///< well-formed ECS parsed into the out-param
+  kMalformed,  ///< an ECS option exists but its lengths/family lie
+};
+
+/// Scans a DNS query for an EDNS0 OPT RR carrying a Client-Subnet option.
+/// Walks the question and every resource record with full bounds checking;
+/// any structural damage on the way (bad name, truncated RR, lying
+/// rdlength/option length, impossible prefix for the family) yields
+/// kMalformed so the caller can fall back to source hashing. Memory-safe
+/// on arbitrary bytes — fuzzed alongside the message decoders.
+EcsResult extract_client_subnet(const std::uint8_t* data, std::size_t size,
+                                ClientSubnet* out);
+
+inline EcsResult extract_client_subnet(const std::vector<std::uint8_t>& wire,
+                                       ClientSubnet* out) {
+  return extract_client_subnet(wire.data(), wire.size(), out);
+}
+
+/// Stable 64-bit digest of a subnet (family + prefix + masked address):
+/// the ECS-derived replacement for the source-address hash.
+std::uint64_t subnet_hash(const ClientSubnet& subnet);
+
+/// The legacy requester key: hash of the resolver's address + port. This
+/// is bit-for-bit the mapping the original single-socket daemon used, kept
+/// as its own function so the golden equivalence test can pin it.
+inline std::uint32_t source_hash(std::uint32_t src_ip_host, std::uint16_t src_port) {
+  return src_ip_host ^ (static_cast<std::uint32_t>(src_port) * 2654435761u);
+}
+
+/// Where a derived domain key came from (per-shard counters report these).
+enum class DomainKeySource {
+  kEcs,               ///< well-formed ECS option
+  kSourceHash,        ///< no ECS in the query (or ECS disabled)
+  kMalformedFallback  ///< ECS present but malformed: fell back to the hash
+};
+
+/// Maps one query datagram to a DomainId: the client subnet when a
+/// well-formed ECS option is present (and `ecs_enabled`), the legacy
+/// source hash otherwise. Always returns a value in [0, num_domains).
+web::DomainId derive_domain_key(const std::uint8_t* data, std::size_t size,
+                                std::uint32_t src_ip_host, std::uint16_t src_port,
+                                int num_domains, bool ecs_enabled,
+                                DomainKeySource* source = nullptr);
+
+/// Appends an EDNS0 OPT RR carrying the given Client-Subnet option to an
+/// encoded query (and bumps its arcount). Test/load-generator helper; the
+/// subnet's address_len must match ceil(source_prefix/8).
+void append_ecs_option(std::vector<std::uint8_t>* query, const ClientSubnet& subnet,
+                       std::uint16_t udp_payload_size = 1232);
+
+}  // namespace adattl::dnswire

@@ -127,6 +127,18 @@ struct SimulationConfig {
   /// per session through the NS; the ablation bench studies the effect.
   bool client_cache_enabled = false;
 
+  // ---- Live DNS daemon (tools/adattl_dnsd; inert for simulations) ----
+  /// UDP port the sharded daemon binds (0 = ephemeral, reported at start).
+  int dnsd_port = 5353;
+  /// Worker shards, each with its own SO_REUSEPORT socket + epoll loop and
+  /// its own scheduler state (1 = bit-compatible with the serial scheduler).
+  int dnsd_shards = 1;
+  /// recvmmsg/sendmmsg batch size; 1 = the legacy recvmsg/sendto path.
+  int dnsd_batch = 32;
+  /// Derive the hidden-load domain key from EDNS0 Client-Subnet when the
+  /// resolver forwards one (source-address hash fallback otherwise).
+  bool dnsd_ecs = true;
+
   // ---- Observability (off by default: zero steady-state cost) ----
   /// Register and update the run-wide metrics registry; the RunResult then
   /// carries a MetricsSnapshot that report serialization includes.

@@ -601,6 +601,25 @@ ParamRegistry::ParamRegistry() {
   dbl("ns-retry-max-backoff", "faults", "SEC", "NS retry backoff cap",
       &S::ns_retry_max_backoff_sec);
 
+  // ---- daemon (tools/adattl_dnsd; inert for simulations) ----
+  integer("dnsd-port", "daemon", "PORT", "UDP port the live DNS daemon binds (0 = ephemeral)",
+          &S::dnsd_port,
+          check_cfg([](const S& c) { return c.dnsd_port >= 0 && c.dnsd_port <= 65535; },
+                    "config: dnsd-port must be in [0, 65535]"));
+  integer("dnsd-shards", "daemon", "N",
+          "daemon worker shards (SO_REUSEPORT sockets with per-shard scheduler state)",
+          &S::dnsd_shards,
+          check_cfg([](const S& c) { return c.dnsd_shards >= 1 && c.dnsd_shards <= 256; },
+                    "config: dnsd-shards must be in [1, 256]"));
+  integer("dnsd-batch", "daemon", "N",
+          "daemon recvmmsg/sendmmsg batch size (1 = plain recvmsg/sendto path)",
+          &S::dnsd_batch,
+          check_cfg([](const S& c) { return c.dnsd_batch >= 1 && c.dnsd_batch <= 1024; },
+                    "config: dnsd-batch must be in [1, 1024]"));
+  boolean("dnsd-ecs", "daemon",
+          "derive the daemon's domain key from EDNS0 Client-Subnet (hash fallback)",
+          &S::dnsd_ecs);
+
   // ---- observability ----
   boolean("metrics", "observability", "run-wide metrics registry (JSON gains \"metrics\")",
           &S::metrics_enabled);

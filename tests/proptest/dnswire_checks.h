@@ -123,11 +123,14 @@ inline void check_frontend_contract(FrontendHarness& h, const std::vector<std::u
 
 /// One committed regression input: the raw datagram plus the outcome the
 /// fixed defect is pinned to ("drop", "noerror", "formerr", "servfail",
-/// "nxdomain", "notimp", "refused").
+/// "nxdomain", "notimp", "refused"). `expect_ecs` additionally pins what
+/// the EDNS0 Client-Subnet scanner must conclude ("absent", "present",
+/// "malformed") for inputs that target the ECS parser.
 struct CorpusEntry {
   std::string path;
   std::vector<std::uint8_t> bytes;
   std::optional<std::string> expect;
+  std::optional<std::string> expect_ecs;
 };
 
 /// Parses one corpus file: whitespace-separated hex byte tokens, '#'
@@ -153,6 +156,13 @@ inline std::optional<CorpusEntry> load_corpus_file(const std::string& path) {
         std::string outcome;
         expect_in >> outcome;
         if (!outcome.empty()) entry.expect = outcome;
+      }
+      const std::size_t ecs_tag = comment.find("ecs:");
+      if (ecs_tag != std::string::npos) {
+        std::istringstream ecs_in(comment.substr(ecs_tag + 4));
+        std::string verdict;
+        ecs_in >> verdict;
+        if (!verdict.empty()) entry.expect_ecs = verdict;
       }
       line = line.substr(0, hash);
     }

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "dnswire/ecs.h"
 #include "dnswire_checks.h"
 
 namespace adattl {
@@ -36,6 +37,16 @@ TEST(DnswireCorpus, EveryCommittedInputKeepsTheContract) {
     if (entry->expect.has_value()) {
       EXPECT_EQ(reply_outcome(reply), *entry->expect)
           << path << " pinned outcome changed";
+    }
+    // Every corpus input also goes through the ECS scanner (memory safety
+    // on hostile bytes); entries with "# ecs:" pin the verdict too.
+    dnswire::ClientSubnet subnet{};
+    const dnswire::EcsResult ecs = dnswire::extract_client_subnet(entry->bytes, &subnet);
+    if (entry->expect_ecs.has_value()) {
+      const std::string got = ecs == dnswire::EcsResult::kPresent   ? "present"
+                              : ecs == dnswire::EcsResult::kAbsent ? "absent"
+                                                                   : "malformed";
+      EXPECT_EQ(got, *entry->expect_ecs) << path << " pinned ECS verdict changed";
     }
   }
 }

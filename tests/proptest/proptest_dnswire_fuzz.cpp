@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "dnswire/ecs.h"
 #include "dnswire/frontend.h"
 #include "dnswire/message.h"
 #include "dnswire_checks.h"
@@ -50,9 +51,25 @@ std::vector<std::uint8_t> draw_base(sim::RngStream& rng, const FrontendHarness& 
   const double which = rng.uniform(0.0, 1.0);
   if (which < 0.55) {
     const std::string qname = rng.bernoulli(0.5) ? h.site_name() : random_name(rng);
-    return dnswire::encode_query(static_cast<std::uint16_t>(rng.uniform_int(0, 0xffff)),
-                                 qname, kTypes[rng.uniform_int(0, 6)],
-                                 kClasses[rng.uniform_int(0, 3)], rng.bernoulli(0.5));
+    auto q = dnswire::encode_query(static_cast<std::uint16_t>(rng.uniform_int(0, 0xffff)),
+                                   qname, kTypes[rng.uniform_int(0, 6)],
+                                   kClasses[rng.uniform_int(0, 3)], rng.bernoulli(0.5));
+    if (rng.bernoulli(0.4)) {
+      // Graft an EDNS0 Client-Subnet option so mutations hit the ECS
+      // scanner's option walk, not just the question decoder.
+      dnswire::ClientSubnet subnet{};
+      const bool v6 = rng.bernoulli(0.25);
+      subnet.family = v6 ? dnswire::kEcsFamilyIpv6 : dnswire::kEcsFamilyIpv4;
+      subnet.source_prefix =
+          static_cast<std::uint8_t>(rng.uniform_int(0, v6 ? 128 : 32));
+      subnet.address_len = static_cast<std::uint8_t>((subnet.source_prefix + 7) / 8);
+      for (int i = 0; i < subnet.address_len; ++i) {
+        subnet.address[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      }
+      dnswire::append_ecs_option(&q, subnet);
+    }
+    return q;
   }
   if (which < 0.7) {
     dnswire::Header qh;
@@ -100,6 +117,30 @@ void mutate(sim::RngStream& rng, std::vector<std::uint8_t>* msg) {
       const std::size_t field = 4 + 2 * static_cast<std::size_t>(rng.uniform_int(0, 3));
       (*msg)[field] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
       (*msg)[field + 1] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    } else if (op < 0.95 && msg->size() > 14) {
+      // OPT option-region mangling: find a type-41 marker and corrupt the
+      // bytes that follow it — rdlength, option code/length, ECS family,
+      // prefix or address — the ECS scanner's own parse path.
+      std::size_t opt = msg->size();
+      for (std::size_t i = 12; i + 1 < msg->size(); ++i) {
+        if ((*msg)[i] == 0x00 && (*msg)[i + 1] == 0x29) {
+          opt = i;
+          break;
+        }
+      }
+      if (opt < msg->size()) {
+        const std::size_t span = msg->size() - opt;
+        const std::size_t i =
+            opt + static_cast<std::size_t>(rng.uniform_int(0, span - 1));
+        (*msg)[i] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      } else {
+        // No OPT present: fabricate a type-41 marker somewhere plausible
+        // so the scanner's RR walk meets one with lying fields around it.
+        const std::size_t i =
+            12 + static_cast<std::size_t>(rng.uniform_int(0, msg->size() - 14));
+        (*msg)[i] = 0x00;
+        (*msg)[i + 1] = 0x29;
+      }
     } else if (!msg->empty()) {
       // lie in a length byte: make some label claim more than remains
       const std::size_t i = static_cast<std::size_t>(rng.uniform_int(0, msg->size() - 1));
@@ -124,6 +165,17 @@ TEST(DnswireFuzz, ArbitraryBytesNeverBreakTheContract) {
       std::uint32_t ipv4 = 0;
       std::uint32_t ttl = 0;
       (void)dnswire::decode_a_response(msg, &dh, &ipv4, &ttl);
+
+      // So must the ECS scanner and the daemon's key derivation — any
+      // verdict is fine, reading out of bounds is not, and the key must
+      // stay in range whatever the bytes claim.
+      dnswire::ClientSubnet subnet{};
+      (void)dnswire::extract_client_subnet(msg.data(), msg.size(), &subnet);
+      const web::DomainId key = dnswire::derive_domain_key(
+          msg.data(), msg.size(), static_cast<std::uint32_t>(rng.next_u64()),
+          static_cast<std::uint16_t>(rng.uniform_int(0, 0xffff)), h.num_domains(), true);
+      ASSERT_GE(key, 0);
+      ASSERT_LT(key, h.num_domains());
 
       check_frontend_contract(
           h, msg, static_cast<web::DomainId>(rng.uniform_int(0, h.num_domains() - 1)));

@@ -1,0 +1,195 @@
+// EDNS0 Client-Subnet extraction + domain-key derivation (dnswire/ecs).
+#include "dnswire/ecs.h"
+
+#include <gtest/gtest.h>
+
+#include "dnswire/message.h"
+
+namespace adattl::dnswire {
+namespace {
+
+ClientSubnet make_subnet(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                         std::uint8_t prefix = 24) {
+  ClientSubnet s{};
+  s.family = kEcsFamilyIpv4;
+  s.source_prefix = prefix;
+  s.address_len = static_cast<std::uint8_t>((prefix + 7) / 8);
+  s.address[0] = a;
+  s.address[1] = b;
+  s.address[2] = c;
+  return s;
+}
+
+// ------------------------------------------------------- append + extract
+
+TEST(Ecs, AbsentOnPlainQuery) {
+  const auto q = encode_query(7, "www.site.org");
+  ClientSubnet out{};
+  EXPECT_EQ(extract_client_subnet(q, &out), EcsResult::kAbsent);
+}
+
+TEST(Ecs, RoundTripIpv4) {
+  auto q = encode_query(7, "www.site.org");
+  append_ecs_option(&q, make_subnet(192, 168, 7));
+
+  // arcount bumped to 1.
+  EXPECT_EQ(q[10], 0u);
+  EXPECT_EQ(q[11], 1u);
+
+  ClientSubnet out{};
+  ASSERT_EQ(extract_client_subnet(q, &out), EcsResult::kPresent);
+  EXPECT_EQ(out.family, kEcsFamilyIpv4);
+  EXPECT_EQ(out.source_prefix, 24);
+  EXPECT_EQ(out.scope_prefix, 0);
+  EXPECT_EQ(out.address_len, 3);
+  EXPECT_EQ(out.address[0], 192);
+  EXPECT_EQ(out.address[1], 168);
+  EXPECT_EQ(out.address[2], 7);
+}
+
+TEST(Ecs, RoundTripIpv6) {
+  auto q = encode_query(9, "www.site.org");
+  ClientSubnet s{};
+  s.family = kEcsFamilyIpv6;
+  s.source_prefix = 56;
+  s.address_len = 7;
+  for (int i = 0; i < 7; ++i) s.address[static_cast<std::size_t>(i)] = std::uint8_t(i + 1);
+  append_ecs_option(&q, s);
+
+  ClientSubnet out{};
+  ASSERT_EQ(extract_client_subnet(q, &out), EcsResult::kPresent);
+  EXPECT_EQ(out.family, kEcsFamilyIpv6);
+  EXPECT_EQ(out.source_prefix, 56);
+  EXPECT_EQ(out.address_len, 7);
+  EXPECT_EQ(out.address[6], 7u);
+}
+
+TEST(Ecs, NonByteAlignedPrefixMasksTailBits) {
+  // /20 = 3 address bytes; the low 4 bits of the third byte must read as 0.
+  auto q = encode_query(3, "www.site.org");
+  ClientSubnet s = make_subnet(10, 0, 0xff, 20);
+  append_ecs_option(&q, s);
+  ClientSubnet out{};
+  ASSERT_EQ(extract_client_subnet(q, &out), EcsResult::kPresent);
+  EXPECT_EQ(out.address[2], 0xf0);  // 0xff masked to the top 4 bits
+}
+
+TEST(Ecs, OptWithoutEcsOptionIsAbsent) {
+  // A bare OPT RR (no options) — standard EDNS0 without client subnet.
+  auto q = encode_query(5, "www.site.org");
+  const std::uint8_t opt[] = {0, 0, 41, 0x04, 0xd0, 0, 0, 0, 0, 0, 0};
+  q.insert(q.end(), opt, opt + sizeof(opt));
+  q[11] = 1;  // arcount
+  ClientSubnet out{};
+  EXPECT_EQ(extract_client_subnet(q, &out), EcsResult::kAbsent);
+}
+
+// ------------------------------------------------------------- malformed
+
+TEST(Ecs, MalformedWhenOptionLengthLies) {
+  auto q = encode_query(4, "www.site.org");
+  append_ecs_option(&q, make_subnet(10, 1, 2));
+  // The ECS option length field sits 2 bytes after the option code, which
+  // is 8 bytes into the OPT rdata. Corrupt it to claim more than present.
+  q[q.size() - 7 - 2] = 0x7f;  // option length high byte... ensure lie
+  ClientSubnet out{};
+  EXPECT_EQ(extract_client_subnet(q, &out), EcsResult::kMalformed);
+}
+
+TEST(Ecs, MalformedWhenAddressShorterThanPrefix) {
+  // Hand-build ECS rdata claiming /24 but shipping only 2 address bytes.
+  auto q = encode_query(4, "www.site.org");
+  const std::uint8_t opt[] = {
+      0,                    // root name
+      0, 41, 0x04, 0xd0,    // type OPT, payload 1232
+      0, 0, 0, 0,           // extended rcode/flags
+      0, 10,                // rdlength = 10
+      0, 8, 0, 6,           // option code 8, option length 6
+      0, 1, 24, 0,          // family v4, source /24, scope 0
+      10, 1                 // only 2 address bytes (need 3)
+  };
+  q.insert(q.end(), opt, opt + sizeof(opt));
+  q[11] = 1;
+  ClientSubnet out{};
+  EXPECT_EQ(extract_client_subnet(q, &out), EcsResult::kMalformed);
+}
+
+TEST(Ecs, MalformedWhenPrefixImpossibleForFamily) {
+  auto q = encode_query(4, "www.site.org");
+  const std::uint8_t opt[] = {
+      0, 0, 41, 0x04, 0xd0, 0, 0, 0, 0,
+      0, 9,                 // rdlength
+      0, 8, 0, 5,           // option code 8, length 5
+      0, 1, 64, 0,          // family v4 but /64
+      10                    // 1 address byte... irrelevant, prefix is the lie
+  };
+  q.insert(q.end(), opt, opt + sizeof(opt));
+  q[11] = 1;
+  ClientSubnet out{};
+  EXPECT_EQ(extract_client_subnet(q, &out), EcsResult::kMalformed);
+}
+
+TEST(Ecs, TruncatedMessagesNeverCrash) {
+  auto q = encode_query(2, "www.site.org");
+  append_ecs_option(&q, make_subnet(172, 16, 0));
+  for (std::size_t cut = 0; cut < q.size(); ++cut) {
+    ClientSubnet out{};
+    // Any result is fine; the property is memory-safe termination.
+    (void)extract_client_subnet(q.data(), cut, &out);
+  }
+}
+
+// ------------------------------------------------------------ subnet_hash
+
+TEST(Ecs, SubnetHashDistinguishesSubnetsNotHosts) {
+  const auto a = make_subnet(10, 0, 1);
+  const auto b = make_subnet(10, 0, 2);
+  EXPECT_NE(subnet_hash(a), subnet_hash(b));
+  EXPECT_EQ(subnet_hash(a), subnet_hash(make_subnet(10, 0, 1)));
+}
+
+// -------------------------------------------------------- derive_domain_key
+
+TEST(Ecs, DeriveUsesEcsWhenPresent) {
+  auto q = encode_query(1, "www.site.org");
+  append_ecs_option(&q, make_subnet(10, 20, 30));
+  DomainKeySource src{};
+  const auto d = derive_domain_key(q.data(), q.size(), 0x7f000001, 4242, 20, true, &src);
+  EXPECT_EQ(src, DomainKeySource::kEcs);
+  EXPECT_GE(d, 0);
+  EXPECT_LT(d, 20);
+  // Same subnet from a different resolver address → same key.
+  DomainKeySource src2{};
+  const auto d2 = derive_domain_key(q.data(), q.size(), 0x0a0a0a0a, 9999, 20, true, &src2);
+  EXPECT_EQ(d, d2);
+}
+
+TEST(Ecs, DeriveFallsBackToSourceHash) {
+  const auto q = encode_query(1, "www.site.org");
+  DomainKeySource src{};
+  const auto d = derive_domain_key(q.data(), q.size(), 0xc0a80101, 5353, 20, true, &src);
+  EXPECT_EQ(src, DomainKeySource::kSourceHash);
+  EXPECT_EQ(d, static_cast<web::DomainId>(source_hash(0xc0a80101, 5353) % 20u));
+}
+
+TEST(Ecs, DeriveIgnoresEcsWhenDisabled) {
+  auto q = encode_query(1, "www.site.org");
+  append_ecs_option(&q, make_subnet(10, 20, 30));
+  DomainKeySource src{};
+  const auto d = derive_domain_key(q.data(), q.size(), 0xc0a80101, 5353, 20, false, &src);
+  EXPECT_EQ(src, DomainKeySource::kSourceHash);
+  EXPECT_EQ(d, static_cast<web::DomainId>(source_hash(0xc0a80101, 5353) % 20u));
+}
+
+TEST(Ecs, DeriveFallsBackOnMalformedEcs) {
+  auto q = encode_query(4, "www.site.org");
+  append_ecs_option(&q, make_subnet(10, 1, 2));
+  q[q.size() - 9] = 0x7f;  // corrupt the option length
+  DomainKeySource src{};
+  const auto d = derive_domain_key(q.data(), q.size(), 0xc0a80101, 5353, 20, true, &src);
+  EXPECT_EQ(src, DomainKeySource::kMalformedFallback);
+  EXPECT_EQ(d, static_cast<web::DomainId>(source_hash(0xc0a80101, 5353) % 20u));
+}
+
+}  // namespace
+}  // namespace adattl::dnswire

@@ -132,6 +132,10 @@ const std::map<std::string, std::string>& sample_values() {
       {"retry-delay", "2.5"},
       {"ns-retry-backoff", "0.5"},
       {"ns-retry-max-backoff", "32"},
+      {"dnsd-port", "5399"},
+      {"dnsd-shards", "4"},
+      {"dnsd-batch", "8"},
+      {"dnsd-ecs", "false"},
       {"metrics", "true"},
       {"event-trace", "true"},
       {"trace-capacity", "1024"},

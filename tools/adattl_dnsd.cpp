@@ -1,40 +1,48 @@
-// adattl_dnsd — a minimal authoritative UDP DNS daemon running the
+// adattl_dnsd — the sharded authoritative UDP DNS daemon running the
 // paper's adaptive-TTL scheduler on real packets.
 //
-//   ./build/tools/adattl_dnsd --port=5353 --name=www.site.org --policy=DRR2-TTL/S_K
-//       (one command line; add --servers=10.0.0.1,10.0.0.2,...)
+//   ./build/tools/adattl_dnsd --dnsd-port=5353 --dnsd-shards=4
+//       --dnsd-batch=32 --policy=DRR2-TTL/S_K --servers=10.0.0.1,10.0.0.2
 //   dig @127.0.0.1 -p 5353 www.site.org A     # watch addresses + TTLs rotate
 //
-// Requester-to-domain mapping: real deployments would key the hidden-load
-// estimate on the resolver's address (or EDNS Client Subnet); this daemon
-// hashes the source address into one of --domains buckets, which is the
-// same information structure the simulation's DomainId carries.
+// Architecture (DESIGN.md §15): N worker shards, each with its own
+// SO_REUSEPORT socket, epoll loop, recvmmsg/sendmmsg batching and its own
+// scheduler state — the hot decision path shares nothing and takes no
+// locks. Domain keys come from EDNS0 Client-Subnet when the resolver
+// forwards one (--dnsd-ecs, default on), with the legacy source-address
+// hash as fallback, so the hidden-load estimate keys on real subnets.
 //
-// The daemon is deliberately tiny — single socket, blocking loop — because
-// everything interesting lives in the library: the scheduler is the same
-// object the simulation and the benchmarks exercise.
+// Registry knobs (--dnsd-port/--dnsd-shards/--dnsd-batch/--dnsd-ecs plus
+// --policy/--domains/--seed) resolve through the parameter registry:
+// scenario files, ADATTL_* env overrides and --help all work here exactly
+// as in run_scenario. Daemon-only flags (--name, --servers, --max-queries,
+// --duration, --stats-interval) are listed below.
 #include <arpa/inet.h>
 #include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
 
+#include <chrono>
 #include <csignal>
 #include <cstdio>
-#include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
-#include "core/policy_factory.h"
-#include "dnswire/frontend.h"
-#include "sim/random.h"
-#include "sim/simulator.h"
+#include "dnswire/daemon.h"
+#include "experiment/cli.h"
+#include "obs/metrics.h"
 
 using namespace adattl;
 
 namespace {
 
+dnswire::UdpDaemon* g_daemon = nullptr;
 volatile std::sig_atomic_t g_stop = 0;
-void on_signal(int) { g_stop = 1; }
+
+void on_signal(int) {
+  g_stop = 1;
+  if (g_daemon != nullptr) g_daemon->request_stop();  // async-signal-safe
+}
 
 std::vector<std::string> split(const std::string& s, char sep) {
   std::vector<std::string> out;
@@ -48,116 +56,164 @@ std::vector<std::string> split(const std::string& s, char sep) {
   return out;
 }
 
+void usage() {
+  std::fprintf(stderr,
+               "usage: adattl_dnsd [registry knobs, see --help-knobs] plus:\n"
+               "  --name=FQDN           site name to be authoritative for\n"
+               "  --servers=IP,IP,...   server addresses (index == ServerId)\n"
+               "  --capacities=C,C,...  per-server capacities (default: all equal)\n"
+               "  --max-queries=N       exit after N answered+refused (testing hook)\n"
+               "  --duration=SEC        exit after SEC seconds (0 = run until signal)\n"
+               "  --stats-interval=SEC  periodic per-shard stats on stderr (0 = off)\n"
+               "  --port=N              alias for --dnsd-port=N (legacy spelling)\n"
+               "registry knobs: --dnsd-port, --dnsd-shards, --dnsd-batch, --dnsd-ecs,\n"
+               "  --policy, --domains, --seed (scenario files + ADATTL_* env work too)\n");
+}
+
+void print_stats(const dnswire::UdpDaemon& daemon) {
+  for (int i = 0; i < daemon.shards(); ++i) {
+    const dnswire::ShardStatsSnapshot s = daemon.shard_stats(i);
+    std::fprintf(stderr,
+                 "adattl_dnsd: shard %d: rx %llu answered %llu refused %llu "
+                 "kernel-drops %llu send-errors %llu ecs %llu (malformed %llu) "
+                 "batches %llu decisions %llu\n",
+                 i, static_cast<unsigned long long>(s.received),
+                 static_cast<unsigned long long>(s.answered),
+                 static_cast<unsigned long long>(s.refused),
+                 static_cast<unsigned long long>(s.dropped_kernel),
+                 static_cast<unsigned long long>(s.send_errors),
+                 static_cast<unsigned long long>(s.ecs_keys),
+                 static_cast<unsigned long long>(s.ecs_malformed),
+                 static_cast<unsigned long long>(s.batches),
+                 static_cast<unsigned long long>(s.decisions));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  int port = 5353;
   std::string name = "www.site.org";
-  std::string policy = "DRR2-TTL/S_K";
   std::string servers_arg = "10.0.0.1,10.0.0.2,10.0.0.3,10.0.0.4";
-  int domains = 20;
-  long max_queries = -1;  // testing hook: exit after N answers
+  std::string capacities_arg;
+  long max_queries = 0;
+  double duration_sec = 0.0;
+  double stats_interval_sec = 0.0;
 
+  // Daemon-only flags are peeled off here; everything else goes through
+  // the parameter registry (which owns --dnsd-*, --policy, --domains,
+  // --seed, --config=FILE and the ADATTL_* env layer).
+  std::vector<std::string> registry_args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const std::size_t eq = arg.find('=');
     const std::string flag = arg.substr(0, eq);
     const std::string value = eq == std::string::npos ? "" : arg.substr(eq + 1);
-    if (flag == "--port") {
-      port = std::stoi(value);
-    } else if (flag == "--name") {
+    if (flag == "--name") {
       name = value;
-    } else if (flag == "--policy") {
-      policy = value;
     } else if (flag == "--servers") {
       servers_arg = value;
-    } else if (flag == "--domains") {
-      domains = std::stoi(value);
+    } else if (flag == "--capacities") {
+      capacities_arg = value;
     } else if (flag == "--max-queries") {
       max_queries = std::stol(value);
-    } else {
-      std::fprintf(stderr,
-                   "usage: adattl_dnsd [--port=N] [--name=FQDN] [--policy=NAME]\n"
-                   "                   [--servers=IP,IP,...] [--domains=K] [--max-queries=N]\n");
+    } else if (flag == "--duration") {
+      duration_sec = std::stod(value);
+    } else if (flag == "--stats-interval") {
+      stats_interval_sec = std::stod(value);
+    } else if (flag == "--port") {
+      registry_args.push_back("--dnsd-port=" + value);  // legacy spelling
+    } else if (flag == "--help" || flag == "-h") {
+      usage();
       return 2;
+    } else if (flag == "--help-knobs") {
+      std::fprintf(stderr, "%s", experiment::cli_usage().c_str());
+      return 2;
+    } else {
+      registry_args.push_back(arg);
     }
   }
 
-  std::vector<std::uint32_t> addrs;
+  experiment::CliOptions opt;
+  try {
+    opt = experiment::parse_cli(registry_args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "adattl_dnsd: %s\n", e.what());
+    usage();
+    return 2;
+  }
+
+  dnswire::DaemonConfig cfg;
+  cfg.site_name = name;
+  cfg.policy = opt.config.policy;
+  cfg.num_domains = opt.config.num_domains;
+  cfg.seed = opt.config.seed;
+  cfg.port = opt.config.dnsd_port;
+  cfg.shards = opt.config.dnsd_shards;
+  cfg.batch = opt.config.dnsd_batch;
+  cfg.ecs_enabled = opt.config.dnsd_ecs;
+  cfg.max_queries = max_queries > 0 ? static_cast<std::uint64_t>(max_queries) : 0;
   for (const std::string& ip : split(servers_arg, ',')) {
     in_addr a{};
     if (inet_pton(AF_INET, ip.c_str(), &a) != 1) {
-      std::fprintf(stderr, "bad server address: %s\n", ip.c_str());
+      std::fprintf(stderr, "adattl_dnsd: bad server address: %s\n", ip.c_str());
       return 2;
     }
-    addrs.push_back(ntohl(a.s_addr));
+    cfg.server_ipv4.push_back(ntohl(a.s_addr));
+  }
+  if (!capacities_arg.empty()) {
+    for (const std::string& c : split(capacities_arg, ',')) {
+      cfg.capacities.push_back(std::stod(c));
+    }
   }
 
-  // Equal capacities by default; the scheduler only needs ratios, and a
-  // daemon operator configures real capacities through the library API.
-  sim::Simulator simulator;
-  sim::RngStream rng(1);
-  core::AlarmRegistry alarms(static_cast<int>(addrs.size()), 0.9);
-  core::SchedulerFactoryConfig fc;
-  fc.capacities.assign(addrs.size(), 100.0);
-  fc.initial_weights = sim::ZipfDistribution(domains, 1.0).probabilities();
-  fc.class_threshold = 1.0 / domains;
-  core::SchedulerBundle bundle;
+  obs::MetricsRegistry registry;
+  std::unique_ptr<dnswire::UdpDaemon> daemon;
   try {
-    bundle = core::make_scheduler(policy, fc, alarms, simulator, rng);
+    daemon = std::make_unique<dnswire::UdpDaemon>(cfg);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "bad --policy: %s\n", e.what());
-    return 2;
+    std::fprintf(stderr, "adattl_dnsd: %s\n", e.what());
+    return 1;
   }
-  dnswire::DnsFrontend frontend(*bundle.scheduler, name, addrs);
+  daemon->bind_observability(&registry);
 
-  const int fd = socket(AF_INET, SOCK_DGRAM, 0);
-  if (fd < 0) {
-    std::perror("socket");
-    return 1;
-  }
-  sockaddr_in bind_addr{};
-  bind_addr.sin_family = AF_INET;
-  bind_addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  bind_addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (bind(fd, reinterpret_cast<sockaddr*>(&bind_addr), sizeof(bind_addr)) != 0) {
-    std::perror("bind");
-    close(fd);
-    return 1;
-  }
+  g_daemon = daemon.get();
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
-  std::fprintf(stderr, "adattl_dnsd: %s via %s on 127.0.0.1:%d (%zu servers, %d domains)\n",
-               name.c_str(), bundle.scheduler->name().c_str(), port, addrs.size(), domains);
 
-  std::uint8_t buf[1500];
-  while (!g_stop) {
-    sockaddr_in peer{};
-    socklen_t peer_len = sizeof(peer);
-    const ssize_t n =
-        recvfrom(fd, buf, sizeof(buf), 0, reinterpret_cast<sockaddr*>(&peer), &peer_len);
-    if (n < 0) {
-      if (g_stop) break;
-      std::perror("recvfrom");
-      continue;
-    }
-    // Hash the requester (address + port) into a domain bucket.
-    const std::uint32_t src = ntohl(peer.sin_addr.s_addr) ^ (ntohs(peer.sin_port) * 2654435761u);
-    const int domain = static_cast<int>(src % static_cast<std::uint32_t>(domains));
+  daemon->start();
+  std::fprintf(stderr,
+               "adattl_dnsd: %s via %s on 127.0.0.1:%d — %d shard(s), batch %d (%s), "
+               "ECS %s, %zu servers, %d domains\n",
+               name.c_str(), cfg.policy.c_str(), daemon->port(), daemon->shards(),
+               cfg.batch, daemon->using_batched_io() ? "recvmmsg/sendmmsg" : "recvmsg/sendto",
+               cfg.ecs_enabled ? "on" : "off", cfg.server_ipv4.size(), cfg.num_domains);
 
-    const std::vector<std::uint8_t> query(buf, buf + n);
-    const std::vector<std::uint8_t> response = frontend.handle(query, domain);
-    if (response.empty()) continue;  // undecodable: drop
-    sendto(fd, response.data(), response.size(), 0, reinterpret_cast<sockaddr*>(&peer),
-           peer_len);
-    if (max_queries > 0 &&
-        static_cast<long>(frontend.answered() + frontend.refused()) >= max_queries) {
+  const auto started = std::chrono::steady_clock::now();
+  auto next_stats = started + std::chrono::duration<double>(
+                                  stats_interval_sec > 0 ? stats_interval_sec : 1e9);
+  while (!g_stop && !daemon->finished()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const auto now = std::chrono::steady_clock::now();
+    if (duration_sec > 0 &&
+        std::chrono::duration<double>(now - started).count() >= duration_sec) {
+      daemon->request_stop();
       break;
     }
+    if (stats_interval_sec > 0 && now >= next_stats) {
+      daemon->publish_metrics();
+      print_stats(*daemon);
+      next_stats = now + std::chrono::duration<double>(stats_interval_sec);
+    }
   }
-  std::fprintf(stderr, "adattl_dnsd: served %llu, refused %llu\n",
-               static_cast<unsigned long long>(frontend.answered()),
-               static_cast<unsigned long long>(frontend.refused()));
-  close(fd);
+  daemon->stop();
+  g_daemon = nullptr;
+
+  daemon->publish_metrics();
+  print_stats(*daemon);
+  const dnswire::ShardStatsSnapshot t = daemon->totals();
+  std::fprintf(stderr, "adattl_dnsd: served %llu, refused %llu, kernel-drops %llu\n",
+               static_cast<unsigned long long>(t.answered),
+               static_cast<unsigned long long>(t.refused),
+               static_cast<unsigned long long>(t.dropped_kernel));
   return 0;
 }
