@@ -24,7 +24,7 @@ void BM_CounterInc(benchmark::State& state) {
 BENCHMARK(BM_CounterInc);
 
 void BM_CounterIncUnbound(benchmark::State& state) {
-  // Scratch-cell path: what every instrumented component pays when the
+  // Unbound no-op path: what every instrumented component pays when the
   // registry is disabled.
   obs::Counter c;
   for (auto _ : state) {

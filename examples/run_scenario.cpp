@@ -128,7 +128,7 @@ int main(int argc, char** argv) {
     std::printf("policy %s on %d servers (%.0f%% heterogeneity), %d domains, %d clients\n",
                 opt.config.policy.c_str(), opt.config.cluster.size(),
                 opt.config.cluster.heterogeneity_percent(), opt.config.num_domains,
-                opt.config.total_clients);
+                opt.config.scaled().total_clients);
     summary.print("scenario result (" + std::to_string(opt.replications) + " replications)");
     std::printf("per-server mean utilization:");
     for (double u : first.mean_server_util) std::printf(" %.3f", u);

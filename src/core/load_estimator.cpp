@@ -1,5 +1,6 @@
 #include "core/load_estimator.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace adattl::core {
@@ -72,10 +73,19 @@ SlidingWindowLoadEstimator::SlidingWindowLoadEstimator(DomainModel& model, int w
 
 std::vector<double> SlidingWindowLoadEstimator::incorporate(const std::vector<double>& rates) {
   history_.push_back(rates);
-  for (std::size_t d = 0; d < sums_.size(); ++d) sums_[d] += rates[d];
-  if (static_cast<int>(history_.size()) > window_count_) {
-    for (std::size_t d = 0; d < sums_.size(); ++d) sums_[d] -= history_.front()[d];
-    history_.pop_front();
+  if (static_cast<int>(history_.size()) > window_count_) history_.pop_front();
+  // The sums are recomputed from the retained windows every time. An
+  // add-then-subtract running sum looks cheaper, but it keeps every
+  // rounding error it ever made: over the millions of collection windows a
+  // long large-population run produces, cancellation (one huge flash-crowd
+  // window absorbing the small ones added after it) drifts the "sum" of
+  // the current window arbitrarily far from the true one. The deque holds
+  // at most window_count_ vectors, so a fresh sum is O(windows · domains)
+  // — trivial — and exact in the only sense that matters: it is a function
+  // of the retained windows alone.
+  std::fill(sums_.begin(), sums_.end(), 0.0);
+  for (const std::vector<double>& window : history_) {
+    for (std::size_t d = 0; d < sums_.size(); ++d) sums_[d] += window[d];
   }
   std::vector<double> avg(sums_.size());
   for (std::size_t d = 0; d < sums_.size(); ++d) {

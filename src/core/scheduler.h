@@ -71,8 +71,8 @@ class DnsScheduler {
   sim::RunningStat ttl_stat_;
   std::function<void(web::DomainId, const Decision&)> hook_;
 
-  // Observability (unbound handles are no-op scratch cells; tracer/clock
-  // null unless bound — one predictable branch per decision when off).
+  // Observability (unbound handles are pure no-ops; tracer/clock null
+  // unless bound — one predictable branch per decision when off).
   obs::Counter obs_decisions_;
   obs::HistogramHandle obs_ttl_;
   obs::HistogramHandle obs_eligible_;

@@ -380,10 +380,10 @@ void UdpDaemon::note_progress() {
 // ---------------------------------------------------------------------------
 
 void UdpDaemon::shard_loop(Shard& shard) {
-  // The core must be built on the thread that runs it: the scheduler's
-  // unbound obs instruments resolve their thread-local scratch cells at
-  // construction, so building on the main thread would point every shard
-  // at the same cell.
+  // The core is built on the thread that runs it so every cache line it
+  // allocates is local to this shard from the start. (It is no longer a
+  // correctness requirement: unbound obs instruments are pure no-ops, so
+  // construction thread cannot create cross-shard sharing.)
   shard.core = std::make_unique<ShardCore>(cfg_, shard.index);
   const int batch = cfg_.batch;
   std::vector<Slot> slots(static_cast<std::size_t>(batch));

@@ -154,9 +154,30 @@ struct SimulationConfig {
   double duration_sec = 18000.0;  ///< measured period after warm-up (5 h)
   std::uint64_t seed = 42;
 
+  // ---- Scale-out (million-client runs) ----
+  /// Multiplies the client population AND the site capacity together, so
+  /// per-client load (and therefore utilization) is invariant: --scale=2000
+  /// turns the paper's 500-client default into a 1M-client site without
+  /// re-deriving Table 2. Applied once at Site construction via scaled().
+  double scale = 1.0;
+  /// Partition the domains (and their clients, name servers and estimator
+  /// state) across a pool of per-shard simulators that synchronize at
+  /// every monitor tick — the parallel-in-one-run mode (DESIGN.md §16).
+  /// Results are bit-identical across repeated runs at a fixed seed and
+  /// shard count, whatever ADATTL_JOBS is.
+  bool shard_domains = false;
+  /// Shard pool size for shard_domains; 0 = one shard per ADATTL_JOBS
+  /// worker. Clamped to num_domains (a shard needs at least one domain).
+  int shard_count = 0;
+
   double effective_class_threshold() const {
     return class_threshold > 0.0 ? class_threshold : 1.0 / num_domains;
   }
+
+  /// The configuration a Site actually runs: `scale` folded into
+  /// total_clients and cluster capacity (then reset to 1). Identity when
+  /// scale == 1. Throws if the scaled population overflows int.
+  SimulationConfig scaled() const;
 
   void validate() const;
 };

@@ -193,6 +193,15 @@ void cross_validate(const SimulationConfig& c) {
   if (c.trace_enabled && c.trace_capacity < 1) {
     bad("config: trace capacity >= 1 when tracing");
   }
+  if (c.shard_domains) {
+    // Sharded runs replicate the cluster per shard; a redirecting
+    // dispatcher needs global queue knowledge and the obs backends are
+    // single-simulator, so both stay on the unsharded path.
+    if (c.redirect_enabled) bad("config: shard-domains is incompatible with redirection");
+    if (c.metrics_enabled || c.trace_enabled) {
+      bad("config: shard-domains does not support metrics/event-trace");
+    }
+  }
 }
 
 }  // namespace
@@ -285,6 +294,10 @@ ParamRegistry::ParamRegistry() {
       &S::rate_perturbation_percent,
       check_cfg([](const S& c) { return c.rate_perturbation_percent >= 0; },
                 "config: perturbation >= 0"));
+  dbl("scale", "workload", "X",
+      "multiplies clients AND site capacity together (per-client load invariant)",
+      &S::scale,
+      check_cfg([](const S& c) { return c.scale > 0; }, "config: scale must be > 0"));
 
   // ---- site ----
   {
@@ -708,6 +721,14 @@ ParamRegistry::ParamRegistry() {
     s.get = [](const C& o) { return fmt_int(o.jobs); };
     add(std::move(s));
   }
+  boolean("shard-domains", "run",
+          "partition domains across parallel per-shard simulators (DESIGN.md §16)",
+          &S::shard_domains);
+  integer("shard-count", "run", "N",
+          "shard pool size for --shard-domains (0 = one shard per ADATTL_JOBS worker)",
+          &S::shard_count,
+          check_cfg([](const S& c) { return c.shard_count >= 0 && c.shard_count <= 512; },
+                    "config: shard count in [0, 512]"));
 
   // ---- output (CLI/scenario only: no env, never dumped) ----
   auto out_bool = [&](const char* name, const char* doc, bool C::* m) {

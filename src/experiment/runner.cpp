@@ -8,6 +8,7 @@
 
 #include "experiment/env_config.h"
 #include "experiment/report.h"
+#include "experiment/sharded_site.h"
 
 namespace adattl::experiment {
 
@@ -143,8 +144,16 @@ SweepResult Sweep::run(ParallelExecutor& executor, ProgressFn on_point_done) con
         SimulationConfig config = points_[p].config;
         config.seed = points_[p].config.seed + static_cast<std::uint64_t>(i);
         const auto run_start = Clock::now();
-        Site site(config);
-        RunResult result = site.run();
+        RunResult result;
+        if (config.shard_domains) {
+          // Sharded runs parallelize internally over their own pool (the
+          // sweep executor is not reentrant from inside a task).
+          ShardedSite site(config);
+          result = site.run();
+        } else {
+          Site site(config);
+          result = site.run();
+        }
         const double run_seconds = since(run_start);
         out.points[p].runs[static_cast<std::size_t>(i)] = std::move(result);
 
@@ -242,7 +251,10 @@ std::string to_json(const SimulationConfig& config, const ReplicatedResult& resu
   append_kv(out, "servers", config.cluster.size());
   append_kv(out, "heterogeneity_percent", config.cluster.heterogeneity_percent());
   append_kv(out, "domains", config.num_domains);
-  append_kv(out, "clients", config.total_clients);
+  // Headline fields describe the population actually simulated, so the
+  // scale multiplier is applied (the resolved-config block below keeps the
+  // pre-scale clients + scale knob for exact reproduction).
+  append_kv(out, "clients", config.scaled().total_clients);
   append_kv(out, "replications", static_cast<double>(result.runs.size()));
   append_kv(out, "duration_sec", config.duration_sec);
 

@@ -6,9 +6,12 @@
 namespace adattl::experiment {
 
 Site::Site(const SimulationConfig& config)
-    : config_(config), rng_(config.seed) {
+    : config_(config.scaled()), rng_(config_.seed) {
   obs::Stopwatch setup_watch;
   config_.validate();
+  if (config_.shard_domains) {
+    throw std::invalid_argument("Site: shard_domains configs require ShardedSite");
+  }
 
   // Observability backends exist only when asked for; every consumer takes
   // a nullable pointer, so the disabled path costs a handful of null binds.
@@ -128,10 +131,13 @@ Site::Site(const SimulationConfig& config)
     }
   }
 
-  // ---- Clients ----
+  // ---- Clients (one pooled allocation for the whole population) ----
   sim::RngStream client_seeds = rng_.split();
   sim::RngStream stagger = rng_.split();
-  clients_.reserve(static_cast<std::size_t>(config_.total_clients));
+  clients_ = std::make_unique<workload::ClientPool>(sim_, *dispatcher_, config_.session,
+                                                    *think_model_, geo_.get(),
+                                                    config_.client_retry_delay_sec);
+  clients_->reserve(static_cast<std::size_t>(config_.total_clients));
   for (int d = 0; d < config_.num_domains; ++d) {
     const auto dd = static_cast<std::size_t>(d);
     for (int c = 0; c < domains_.clients[dd]; ++c) {
@@ -144,12 +150,10 @@ Site::Site(const SimulationConfig& config)
         client_caches_.push_back(std::make_unique<dnscache::ClientCache>(sim_, ns));
         resolver = client_caches_.back().get();
       }
-      clients_.push_back(std::make_unique<workload::Client>(
-          sim_, *resolver, *dispatcher_, config_.session, *think_model_,
-          client_seeds.split(), geo_.get(), config_.client_retry_delay_sec));
+      const std::size_t idx = clients_->add(*resolver, client_seeds.split());
       // Staggered arrival over one think time keeps t = 0 from stampeding
       // the DNS with simultaneous resolutions.
-      clients_.back()->start(stagger.uniform(0.0, config_.mean_think_sec));
+      clients_->start(idx, stagger.uniform(0.0, config_.mean_think_sec));
     }
   }
 
@@ -227,13 +231,11 @@ RunResult Site::run() {
     r.aggregate_utilization += r.mean_server_util[i] * cap[i] / total_cap;
   }
 
-  double network_total = 0.0;
-  for (const auto& c : clients_) {
-    r.total_pages += c->pages_requested();
-    network_total += c->network_time_sec();
-  }
+  const workload::ClientPool::Totals client_totals = clients_->totals();
+  r.total_pages = client_totals.pages;
   r.mean_network_rtt_sec =
-      r.total_pages ? network_total / static_cast<double>(r.total_pages) : 0.0;
+      r.total_pages ? client_totals.network_time_sec / static_cast<double>(r.total_pages)
+                    : 0.0;
   for (int s = 0; s < cluster_->size(); ++s) r.total_hits += cluster_->server(s).hits_served();
   for (const auto& ns : name_servers_) {
     r.authoritative_queries += ns->authoritative_queries();

@@ -20,7 +20,7 @@
 #include "web/cluster.h"
 #include "web/dispatcher.h"
 #include "web/monitor_hub.h"
-#include "workload/client.h"
+#include "workload/client_pool.h"
 #include "workload/domain_set.h"
 
 namespace adattl::experiment {
@@ -143,6 +143,8 @@ class Site {
   const SimulationConfig& config() const { return config_; }
   /// The fault layer (always constructed; empty schedule = inert).
   fault::FaultInjector& fault_injector() { return *fault_injector_; }
+  /// The pooled client population.
+  workload::ClientPool& clients() { return *clients_; }
 
   /// Null unless config.metrics_enabled / config.trace_enabled.
   obs::MetricsRegistry* metrics_registry() { return metrics_registry_.get(); }
@@ -166,7 +168,7 @@ class Site {
   std::unique_ptr<core::LoadEstimator> estimator_;
   std::vector<std::unique_ptr<dnscache::NameServer>> name_servers_;
   std::vector<std::unique_ptr<dnscache::ClientCache>> client_caches_;  // optional layer
-  std::vector<std::unique_ptr<workload::Client>> clients_;
+  std::unique_ptr<workload::ClientPool> clients_;
   std::unique_ptr<web::MonitorHub> monitor_;
   std::unique_ptr<MaxUtilizationTracker> tracker_;
 

@@ -13,22 +13,11 @@ const char* metric_kind_name(MetricKind kind) {
   return "?";
 }
 
-// Scratch cells are thread-local so unbound instruments on concurrently
-// running Sites (parallel sweeps) never share a cell — a shared global
-// would be a benign-looking data race under TSan.
-std::uint64_t* Counter::scratch() {
-  thread_local std::uint64_t cell = 0;
-  return &cell;
-}
-
-double* Gauge::scratch() {
-  thread_local double cell = 0.0;
-  return &cell;
-}
-
-HistogramCell* HistogramHandle::scratch() {
-  thread_local HistogramCell cell{1.0, std::vector<std::uint64_t>(2, 0), 0, 0.0};
-  return &cell;
+const HistogramCell& HistogramHandle::empty() {
+  // Never written (unbound updates are no-ops), so concurrent readers on
+  // any mix of threads are safe.
+  static const HistogramCell cell{1.0, std::vector<std::uint64_t>(2, 0), 0, 0.0};
+  return cell;
 }
 
 const MetricsSnapshot::Metric* MetricsSnapshot::find(const std::string& name) const {

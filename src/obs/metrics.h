@@ -42,54 +42,66 @@ struct HistogramCell {
 /// Pre-resolved handle to a monotonically increasing count.
 ///
 /// Handles are resolved once at wiring time and updated through a raw cell
-/// pointer, so the steady-state path is a single indirect increment — no
-/// lookup, no branch, no allocation. A default-constructed handle points
-/// at a thread-local scratch cell, making unbound instruments safe no-ops
-/// (data is discarded) without any null check in the hot path.
+/// pointer, so the bound steady-state path is a well-predicted null check
+/// plus an indirect increment — no lookup, no allocation. A
+/// default-constructed handle is unbound and every update is a pure no-op.
+/// It must stay that way: instruments are built on one thread and may be
+/// driven from another (sharded runs construct components on the main
+/// thread and run them on pool workers), so an unbound update may not
+/// touch *any* shared or thread-local cell — an earlier design cached a
+/// TLS scratch pointer at construction and every worker raced on the
+/// constructing thread's cell.
 class Counter {
  public:
-  Counter() : cell_(scratch()) {}
+  Counter() = default;
 
-  void inc(std::uint64_t n = 1) { *cell_ += n; }
-  std::uint64_t value() const { return *cell_; }
+  void inc(std::uint64_t n = 1) {
+    if (cell_) *cell_ += n;
+  }
+  std::uint64_t value() const { return cell_ ? *cell_ : 0; }
 
  private:
   friend class MetricsRegistry;
   explicit Counter(std::uint64_t* cell) : cell_(cell) {}
-  static std::uint64_t* scratch();
-  std::uint64_t* cell_;
+  std::uint64_t* cell_ = nullptr;
 };
 
 /// Pre-resolved handle to a last-value-wins measurement (queue depth,
 /// busy seconds). Same cell-pointer scheme as Counter.
 class Gauge {
  public:
-  Gauge() : cell_(scratch()) {}
+  Gauge() = default;
 
-  void set(double v) { *cell_ = v; }
-  void add(double v) { *cell_ += v; }
-  double value() const { return *cell_; }
+  void set(double v) {
+    if (cell_) *cell_ = v;
+  }
+  void add(double v) {
+    if (cell_) *cell_ += v;
+  }
+  double value() const { return cell_ ? *cell_ : 0.0; }
 
  private:
   friend class MetricsRegistry;
   explicit Gauge(double* cell) : cell_(cell) {}
-  static double* scratch();
-  double* cell_;
+  double* cell_ = nullptr;
 };
 
 /// Pre-resolved handle to a fixed-bin histogram.
 class HistogramHandle {
  public:
-  HistogramHandle() : cell_(scratch()) {}
+  HistogramHandle() = default;
 
-  void observe(double x) { cell_->observe(x); }
-  const HistogramCell& cell() const { return *cell_; }
+  void observe(double x) {
+    if (cell_) cell_->observe(x);
+  }
+  /// Unbound handles read as an empty single-bin histogram.
+  const HistogramCell& cell() const { return cell_ ? *cell_ : empty(); }
 
  private:
   friend class MetricsRegistry;
   explicit HistogramHandle(HistogramCell* cell) : cell_(cell) {}
-  static HistogramCell* scratch();
-  HistogramCell* cell_;
+  static const HistogramCell& empty();
+  HistogramCell* cell_ = nullptr;
 };
 
 /// Point-in-time copy of every registered metric, detached from the

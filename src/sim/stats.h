@@ -15,6 +15,11 @@ class RunningStat {
  public:
   void add(double x);
 
+  /// Folds another accumulator in, as if its samples had been add()ed here
+  /// (Chan et al. pairwise combination — the parallel-merge form of
+  /// Welford). Used to combine per-shard statistics deterministically.
+  void merge(const RunningStat& other);
+
   std::uint64_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
   /// Unbiased sample variance; 0 for fewer than two samples.

@@ -2,55 +2,17 @@
 
 #include <cstdint>
 
-#include "dnscache/resolver.h"
-#include "geo/geo_model.h"
-#include "sim/random.h"
-#include "sim/simulator.h"
-#include "web/dispatcher.h"
-#include "workload/think_time_model.h"
+#include "workload/client_pool.h"
 
 namespace adattl::workload {
 
-/// How many hits a page request carries.
-enum class HitsDistribution {
-  kUniform,  ///< uniform integer in [min, max] — the paper's model
-  kPareto,   ///< bounded Pareto on [min, max] — heavy-tailed extension
-};
-
-/// Parameters of one client session (paper §4.1 / Table 1).
-struct SessionProfile {
-  double mean_pages_per_session = 20.0;  ///< geometric (discrete exponential)
-  int min_hits_per_page = 5;             ///< hits per page bounds
-  int max_hits_per_page = 15;
-  HitsDistribution hits_distribution = HitsDistribution::kUniform;
-  /// Tail index for the Pareto option (smaller = heavier tail).
-  double pareto_shape = 1.5;
-
-  void validate() const;
-
-  /// Draws one page's hit count.
-  int sample_hits(sim::RngStream& rng) const;
-
-  /// Mean hits per page under the configured distribution.
-  double mean_hits_per_page() const;
-};
-
 /// One Web client, driven entirely by simulator events.
 ///
-/// Lifecycle (paper §4.1): a session opens with a single address
-/// resolution through the domain's name server, then issues a geometric
-/// number of page requests — each a burst of hits — separated by
-/// exponential think times; the next session re-resolves (possibly served
-/// from the NS cache) and repeats forever.
-///
-/// The client holds its mapping for the whole session even if the TTL
-/// expires mid-session. This client-side caching is what spreads a
-/// domain's load across the servers chosen in successive TTL windows, and
-/// is the mechanism adaptive TTL policies exploit.
-///
-/// Think times are sampled through the shared ThinkTimeModel, so scripted
-/// rate shifts (flash crowds) apply to every client of a domain from its
-/// next think period onward.
+/// Convenience wrapper over a ClientPool of size one — the pool owns the
+/// single lifecycle implementation (see client_pool.h for the session
+/// model, event coalescing and network accounting); this class exists for
+/// tests and examples that want one self-contained client object.
+/// Simulations build the population through ClientPool directly.
 class Client {
  public:
   /// `geo` (optional) adds network round-trip time to every page: the
@@ -60,61 +22,36 @@ class Client {
   /// resolution (failures only occur under fault injection).
   Client(sim::Simulator& sim, dnscache::Resolver& ns, web::PageDispatcher& dispatcher,
          const SessionProfile& profile, const ThinkTimeModel& think, sim::RngStream rng,
-         const geo::GeoModel* geo = nullptr, double retry_delay_sec = 1.0);
+         const geo::GeoModel* geo = nullptr, double retry_delay_sec = 1.0)
+      : pool_(sim, dispatcher, profile, think, geo, retry_delay_sec),
+        index_(pool_.add(ns, rng)) {}
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
   /// Schedules the first session `initial_delay` seconds from now
   /// (staggered starts avoid a synchronized stampede at t = 0).
-  void start(double initial_delay);
+  void start(double initial_delay) { pool_.start(index_, initial_delay); }
 
-  std::uint64_t sessions_started() const { return sessions_; }
-  std::uint64_t pages_requested() const { return pages_; }
+  std::uint64_t sessions_started() const { return pool_.sessions_started(index_); }
+  std::uint64_t pages_requested() const { return pool_.pages_requested(index_); }
 
   /// Page attempts that came back failed (crashed server); each is
   /// retried after retry_delay_sec with a fresh resolution, so one page
   /// can fail several times during a long outage.
-  std::uint64_t pages_failed() const { return pages_failed_; }
+  std::uint64_t pages_failed() const { return pool_.pages_failed(index_); }
   /// Resolutions that produced no server at all (cold NS cache during a
   /// DNS outage); retried like failed pages.
-  std::uint64_t resolution_failures() const { return resolution_failures_; }
+  std::uint64_t resolution_failures() const { return pool_.resolution_failures(index_); }
 
-  /// Total network round-trip seconds this client's pages spent in flight
-  /// (0 without a geo model).
-  double network_time_sec() const { return network_time_; }
+  /// Total network flight seconds this client's pages actually spent in
+  /// the air (0 without a geo model). Request legs are charged per attempt
+  /// (retries really fly), reply legs only for pages the server completed.
+  double network_time_sec() const { return pool_.network_time_sec(index_); }
 
  private:
-  void begin_session();
-  void request_page();
-  void dispatch_current();
-  void on_server_complete();
-  void on_page_complete();
-  void on_page_failed();
-  void retry_page();
-
-  sim::Simulator& sim_;
-  dnscache::Resolver& ns_;
-  web::PageDispatcher& dispatcher_;
-  SessionProfile profile_;
-  const ThinkTimeModel& think_;
-  sim::RngStream rng_;
-  const geo::GeoModel* geo_;
-  double retry_delay_sec_;
-  double network_time_ = 0.0;
-  /// RTT of the page in flight, looked up once per page (request leg) and
-  /// reused for the reply leg — the mapping is fixed for the page's lifetime.
-  double page_rtt_ = 0.0;
-
-  web::ServerId mapped_server_ = -1;
-  int pages_left_ = 0;
-  /// Hit count of the page in flight, kept so a failed page retries with
-  /// the *same* size (a retry is the same page, not a new sample).
-  int pending_hits_ = 0;
-  std::uint64_t sessions_ = 0;
-  std::uint64_t pages_ = 0;
-  std::uint64_t pages_failed_ = 0;
-  std::uint64_t resolution_failures_ = 0;
+  ClientPool pool_;
+  std::size_t index_;
 };
 
 }  // namespace adattl::workload

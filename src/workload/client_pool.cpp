@@ -1,0 +1,201 @@
+#include "workload/client_pool.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace adattl::workload {
+
+void SessionProfile::validate() const {
+  if (mean_pages_per_session < 1.0) {
+    throw std::invalid_argument("SessionProfile: mean pages must be >= 1");
+  }
+  if (min_hits_per_page < 1 || max_hits_per_page < min_hits_per_page) {
+    throw std::invalid_argument("SessionProfile: bad hits-per-page range");
+  }
+  if (pareto_shape <= 0.0) {
+    throw std::invalid_argument("SessionProfile: Pareto shape must be > 0");
+  }
+}
+
+int SessionProfile::sample_hits(sim::RngStream& rng) const {
+  switch (hits_distribution) {
+    case HitsDistribution::kUniform:
+      return static_cast<int>(rng.uniform_int(min_hits_per_page, max_hits_per_page));
+    case HitsDistribution::kPareto: {
+      // Bounded Pareto on [L, H] by inverse-CDF; heavy lower-tail mass with
+      // occasional near-H bursts — the Arlitt/Williamson-style alternative.
+      const double a = pareto_shape;
+      const double l = static_cast<double>(min_hits_per_page);
+      const double h = static_cast<double>(max_hits_per_page) + 1.0;  // include H after floor
+      const double u = rng.next_double();
+      const double la = std::pow(l, a);
+      const double ha = std::pow(h, a);
+      const double x = std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / a);
+      const int hits = static_cast<int>(x);
+      return std::min(std::max(hits, min_hits_per_page), max_hits_per_page);
+    }
+  }
+  throw std::logic_error("SessionProfile: unknown hits distribution");
+}
+
+double SessionProfile::mean_hits_per_page() const {
+  switch (hits_distribution) {
+    case HitsDistribution::kUniform:
+      return 0.5 * (min_hits_per_page + max_hits_per_page);
+    case HitsDistribution::kPareto: {
+      // Mean of the continuous bounded Pareto; close enough for load math.
+      const double a = pareto_shape;
+      const double l = static_cast<double>(min_hits_per_page);
+      const double h = static_cast<double>(max_hits_per_page) + 1.0;
+      if (a == 1.0) return l * h / (h - l) * std::log(h / l);
+      const double la = std::pow(l, a);
+      const double ha = std::pow(h, a);
+      return la / (1.0 - la / ha) * (a / (a - 1.0)) *
+             (1.0 / std::pow(l, a - 1.0) - 1.0 / std::pow(h, a - 1.0));
+    }
+  }
+  throw std::logic_error("SessionProfile: unknown hits distribution");
+}
+
+ClientPool::ClientPool(sim::Simulator& sim, web::PageDispatcher& dispatcher,
+                       const SessionProfile& profile, const ThinkTimeModel& think,
+                       const geo::GeoModel* geo, double retry_delay_sec)
+    : sim_(sim),
+      dispatcher_(dispatcher),
+      profile_(profile),
+      think_(think),
+      geo_(geo),
+      retry_delay_sec_(retry_delay_sec) {
+  profile_.validate();
+  if (retry_delay_sec <= 0.0) {
+    throw std::invalid_argument("Client: retry delay must be > 0");
+  }
+}
+
+std::size_t ClientPool::add(dnscache::Resolver& resolver, sim::RngStream rng) {
+  if (resolver.domain() < 0 || resolver.domain() >= think_.num_domains()) {
+    throw std::invalid_argument("Client: resolver domain outside think-time model");
+  }
+  if (geo_ && geo_->num_domains() <= resolver.domain()) {
+    throw std::invalid_argument("Client: resolver domain outside geo model");
+  }
+  recs_.emplace_back(rng, &resolver);
+  return recs_.size() - 1;
+}
+
+void ClientPool::start(std::size_t i, double initial_delay) {
+  const auto idx = static_cast<std::uint32_t>(i);
+  sim_.after(initial_delay, sim::assert_inline([this, idx] { begin_session(idx); }));
+}
+
+ClientPool::Totals ClientPool::totals() const {
+  Totals t;
+  for (const Rec& c : recs_) {
+    t.sessions += c.sessions;
+    t.pages += c.pages;
+    t.pages_failed += c.pages_failed;
+    t.resolution_failures += c.resolution_failures;
+    t.network_time_sec += c.network_time;
+  }
+  return t;
+}
+
+void ClientPool::begin_session(std::uint32_t i) {
+  Rec& c = recs_[i];
+  c.mapped_server = c.resolver->resolve();
+  if (c.mapped_server < 0) {
+    // DNS outage against a cold NS cache: nothing to stale-serve. The
+    // session has not started — try again shortly.
+    ++c.resolution_failures;
+    sim_.after(retry_delay_sec_, sim::assert_inline([this, i] { begin_session(i); }));
+    return;
+  }
+  ++c.sessions;
+  c.pages_left = c.rng.geometric_min1(profile_.mean_pages_per_session);
+  ++c.pages;
+  --c.pages_left;
+  c.pending_hits = profile_.sample_hits(c.rng);
+  dispatch_request(i);
+}
+
+void ClientPool::dispatch_request(std::uint32_t i) {
+  Rec& c = recs_[i];
+  // One geo lookup per dispatch: the mapping cannot change between the
+  // request and reply legs, so on_server_complete() reuses the cached value.
+  c.page_rtt = geo_ ? geo_->rtt(c.resolver->domain(), c.mapped_server) : 0.0;
+  if (c.page_rtt > 0.0) {
+    // Request leg only. The reply leg is charged when (if) the server
+    // completes the page — a rejected or crashed attempt never took it.
+    c.network_time += c.page_rtt / 2.0;
+    sim_.after(c.page_rtt / 2.0, sim::assert_inline([this, i] { arrive(i); }));
+  } else {
+    arrive(i);
+  }
+}
+
+void ClientPool::arrive(std::uint32_t i) {
+  Rec& c = recs_[i];
+  if (c.count_page_on_arrive) {
+    c.count_page_on_arrive = false;
+    ++c.pages;
+  }
+  dispatcher_.dispatch(c.mapped_server,
+                       web::PageRequest{c.resolver->domain(), c.pending_hits,
+                                        [this, i] { on_server_complete(i); },
+                                        [this, i] { on_page_failed(i); }});
+}
+
+void ClientPool::on_server_complete(std::uint32_t i) {
+  Rec& c = recs_[i];
+  if (c.page_rtt > 0.0) c.network_time += c.page_rtt / 2.0;  // the reply leg home
+  const double think = think_.sample(c.resolver->domain(), c.rng);
+  if (c.pages_left > 0) {
+    // Coalesce reply flight + think + next request flight into one event:
+    // the mapping is held for the session, so nothing the client can
+    // observe changes in between. The next page's size is drawn now —
+    // same stream, same order, same value as drawing it at dispatch time.
+    --c.pages_left;
+    c.pending_hits = profile_.sample_hits(c.rng);
+    c.count_page_on_arrive = true;
+    if (c.page_rtt > 0.0) {
+      c.network_time += c.page_rtt / 2.0;  // next page's request leg
+      sim_.after(c.page_rtt / 2.0 + think + c.page_rtt / 2.0,
+                 sim::assert_inline([this, i] { arrive(i); }));
+    } else {
+      sim_.after(think, sim::assert_inline([this, i] { arrive(i); }));
+    }
+  } else {
+    // Session over: reply flight + think, then re-resolve (the next
+    // session's mapping may differ, so it cannot coalesce further).
+    if (c.page_rtt > 0.0) {
+      sim_.after(c.page_rtt / 2.0 + think,
+                 sim::assert_inline([this, i] { begin_session(i); }));
+    } else {
+      sim_.after(think, sim::assert_inline([this, i] { begin_session(i); }));
+    }
+  }
+}
+
+void ClientPool::on_page_failed(std::uint32_t i) {
+  // Called from inside the server's crash/reject path — never resubmit
+  // synchronously; the retry is a fresh simulator event.
+  ++recs_[i].pages_failed;
+  sim_.after(retry_delay_sec_, sim::assert_inline([this, i] { retry_page(i); }));
+}
+
+void ClientPool::retry_page(std::uint32_t i) {
+  Rec& c = recs_[i];
+  // The mapping that failed may point at a dead server; re-resolve first
+  // (the NS or the DNS may know better by now), then re-issue the *same*
+  // page. During a DNS outage with nothing cached this loops on the
+  // resolution until either recovers.
+  c.mapped_server = c.resolver->resolve();
+  if (c.mapped_server < 0) {
+    ++c.resolution_failures;
+    sim_.after(retry_delay_sec_, sim::assert_inline([this, i] { retry_page(i); }));
+    return;
+  }
+  dispatch_request(i);
+}
+
+}  // namespace adattl::workload

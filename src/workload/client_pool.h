@@ -1,0 +1,167 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dnscache/resolver.h"
+#include "geo/geo_model.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "web/dispatcher.h"
+#include "workload/think_time_model.h"
+
+namespace adattl::workload {
+
+/// How many hits a page request carries.
+enum class HitsDistribution {
+  kUniform,  ///< uniform integer in [min, max] — the paper's model
+  kPareto,   ///< bounded Pareto on [min, max] — heavy-tailed extension
+};
+
+/// Parameters of one client session (paper §4.1 / Table 1).
+struct SessionProfile {
+  double mean_pages_per_session = 20.0;  ///< geometric (discrete exponential)
+  int min_hits_per_page = 5;             ///< hits per page bounds
+  int max_hits_per_page = 15;
+  HitsDistribution hits_distribution = HitsDistribution::kUniform;
+  /// Tail index for the Pareto option (smaller = heavier tail).
+  double pareto_shape = 1.5;
+
+  void validate() const;
+
+  /// Draws one page's hit count.
+  int sample_hits(sim::RngStream& rng) const;
+
+  /// Mean hits per page under the configured distribution.
+  double mean_hits_per_page() const;
+};
+
+/// The entire client population of one simulation as a single pooled
+/// object: one contiguous vector of ~112-byte records (per-client RNG
+/// state, session counters, the page in flight) instead of a heap
+/// allocation per client. At a million clients that is one ~110 MB
+/// allocation, iterated cache-linearly for end-of-run aggregation, and
+/// every simulator callback captures just {pool, index} — small enough for
+/// both the kernel's InlineCallback SBO and std::function's.
+///
+/// Lifecycle per client (paper §4.1): a session opens with a single
+/// address resolution through the domain's name server, then issues a
+/// geometric number of page requests — each a burst of hits — separated by
+/// exponential think times; the next session re-resolves (possibly served
+/// from the NS cache) and repeats forever. The client holds its mapping
+/// for the whole session even if the TTL expires mid-session.
+///
+/// Event coalescing: the page lifecycle costs at most ONE in-flight kernel
+/// event per client. Between a page's service completion and the next
+/// page's arrival at the server nothing observable about the client can
+/// change (the mapping is held for the session, the think time and the
+/// next page's size are independent draws), so the reply flight, the think
+/// period and the next request flight collapse into a single event at
+/// t + rtt/2 + think + rtt/2. Without geography (rtt = 0) the event
+/// sequence is bit-identical to the historical one-object-per-client code;
+/// with geography it replaces three client events per page by one. The
+/// one approximation: think times are sampled rtt/2 seconds (the reply
+/// flight) earlier in simulated time, so a scripted rate shift firing
+/// inside that sub-second window applies one page later than before.
+///
+/// Network accounting charges each flight leg when it is actually taken:
+/// the request leg (rtt/2) at dispatch — including every retry attempt,
+/// which really does fly to the (possibly dead) server — and the reply leg
+/// (rtt/2) only when the server completes the page. A page that fails at
+/// the server never charges the reply it never received.
+class ClientPool {
+ public:
+  /// `geo` (optional) adds network round-trip time to every page: the
+  /// request travels rtt/2 before reaching the server and the reply
+  /// travels rtt/2 back, so client-perceived response = rtt + server time.
+  /// `retry_delay_sec` is the pause before retrying a failed page or
+  /// resolution (failures only occur under fault injection).
+  ClientPool(sim::Simulator& sim, web::PageDispatcher& dispatcher,
+             const SessionProfile& profile, const ThinkTimeModel& think,
+             const geo::GeoModel* geo = nullptr, double retry_delay_sec = 1.0);
+
+  ClientPool(const ClientPool&) = delete;
+  ClientPool& operator=(const ClientPool&) = delete;
+
+  void reserve(std::size_t clients) { recs_.reserve(clients); }
+
+  /// Adds one client that resolves through `resolver` (a NameServer or a
+  /// per-client cache on top of one) and draws from `rng`. Returns the
+  /// client's index. `resolver` must outlive the pool.
+  std::size_t add(dnscache::Resolver& resolver, sim::RngStream rng);
+
+  /// Schedules client `i`'s first session `initial_delay` seconds from now
+  /// (staggered starts avoid a synchronized stampede at t = 0).
+  void start(std::size_t i, double initial_delay);
+
+  std::size_t size() const { return recs_.size(); }
+
+  std::uint64_t sessions_started(std::size_t i) const { return recs_[i].sessions; }
+  std::uint64_t pages_requested(std::size_t i) const { return recs_[i].pages; }
+  /// Page attempts that came back failed (crashed server); each is retried
+  /// after retry_delay_sec with a fresh resolution, so one page can fail
+  /// several times during a long outage.
+  std::uint64_t pages_failed(std::size_t i) const { return recs_[i].pages_failed; }
+  /// Resolutions that produced no server at all (cold NS cache during a
+  /// DNS outage); retried like failed pages.
+  std::uint64_t resolution_failures(std::size_t i) const {
+    return recs_[i].resolution_failures;
+  }
+  /// Total network flight seconds client `i`'s pages actually spent in the
+  /// air (0 without a geo model).
+  double network_time_sec(std::size_t i) const { return recs_[i].network_time; }
+
+  /// Population-wide sums, accumulated in index order (one linear pass).
+  struct Totals {
+    std::uint64_t sessions = 0;
+    std::uint64_t pages = 0;
+    std::uint64_t pages_failed = 0;
+    std::uint64_t resolution_failures = 0;
+    double network_time_sec = 0.0;
+  };
+  Totals totals() const;
+
+ private:
+  /// One client. Kept POD-ish and compact: the pool's contiguous vector of
+  /// these IS the client population's entire state.
+  struct Rec {
+    Rec(sim::RngStream r, dnscache::Resolver* res) : rng(r), resolver(res) {}
+
+    sim::RngStream rng;
+    dnscache::Resolver* resolver;
+    double network_time = 0.0;
+    /// RTT of the page in flight, looked up once per dispatch and reused
+    /// for the reply leg — the mapping is fixed for the page's lifetime.
+    double page_rtt = 0.0;
+    std::uint64_t sessions = 0;
+    std::uint64_t pages = 0;
+    std::uint64_t pages_failed = 0;
+    std::uint64_t resolution_failures = 0;
+    web::ServerId mapped_server = -1;
+    int pages_left = 0;
+    /// Hit count of the page in flight, kept so a failed page retries with
+    /// the *same* size (a retry is the same page, not a new sample).
+    int pending_hits = 0;
+    /// A coalesced next page counts as requested when its arrival event
+    /// fires (= the historical think-end instant), not when it is drawn at
+    /// service-completion time; retries arrive without recounting.
+    bool count_page_on_arrive = false;
+  };
+
+  void begin_session(std::uint32_t i);
+  void dispatch_request(std::uint32_t i);
+  void arrive(std::uint32_t i);
+  void on_server_complete(std::uint32_t i);
+  void on_page_failed(std::uint32_t i);
+  void retry_page(std::uint32_t i);
+
+  sim::Simulator& sim_;
+  web::PageDispatcher& dispatcher_;
+  SessionProfile profile_;
+  const ThinkTimeModel& think_;
+  const geo::GeoModel* geo_;
+  double retry_delay_sec_;
+  std::vector<Rec> recs_;
+};
+
+}  // namespace adattl::workload

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <memory>
+
 #include "core/policy_factory.h"
 #include "dnscache/name_server.h"
+#include "geo/geo_model.h"
 
 namespace adattl::workload {
 namespace {
@@ -135,6 +139,112 @@ TEST_F(ClientTest, RejectsBadThinkTime) {
   dnscache::NameServer ns3(w.simulator, 2, *w.bundle.scheduler);
   EXPECT_THROW(Client(w.simulator, ns3, *w.dispatcher, profile, too_small, w.rng.split()),
                std::invalid_argument);
+}
+
+double empirical_hits_mean(const SessionProfile& p, int draws, std::uint64_t seed) {
+  sim::RngStream rng(seed);
+  double sum = 0.0;
+  for (int i = 0; i < draws; ++i) {
+    const int hits = p.sample_hits(rng);
+    EXPECT_GE(hits, p.min_hits_per_page);
+    EXPECT_LE(hits, p.max_hits_per_page);
+    sum += static_cast<double>(hits);
+  }
+  return sum / static_cast<double>(draws);
+}
+
+TEST_F(ClientTest, ParetoHitsEmpiricalMeanMatchesAnalyticMean) {
+  SessionProfile p;
+  p.hits_distribution = HitsDistribution::kPareto;
+  for (double a : {1.5, 2.5}) {
+    p.pareto_shape = a;
+    const double analytic = p.mean_hits_per_page();
+    const double empirical = empirical_hits_mean(p, 200000, 42);
+    // sample_hits floors the continuous variate, so the empirical mean
+    // sits up to ~0.5 below the continuous-model analytic mean.
+    EXPECT_NEAR(empirical, analytic, 0.75) << "shape " << a;
+    EXPECT_GT(analytic, static_cast<double>(p.min_hits_per_page));
+    EXPECT_LT(analytic, static_cast<double>(p.max_hits_per_page) + 1.0);
+  }
+}
+
+TEST_F(ClientTest, ParetoHitsShapeOneUsesLogFormAndStillMatches) {
+  // a == 1 hits the removable singularity of the bounded-Pareto mean; the
+  // closed form switches to L·H/(H−L)·ln(H/L) and must agree with draws.
+  SessionProfile p;
+  p.hits_distribution = HitsDistribution::kPareto;
+  p.pareto_shape = 1.0;
+  const double analytic = p.mean_hits_per_page();
+  EXPECT_TRUE(std::isfinite(analytic));
+  const double empirical = empirical_hits_mean(p, 200000, 7);
+  EXPECT_NEAR(empirical, analytic, 0.75);
+}
+
+TEST_F(ClientTest, ParetoMeanIsContinuousThroughShapeOne) {
+  // The general-form mean must approach the log-form limit as a → 1, from
+  // both sides — guards the 1/(a−1) factor against sign/cancellation slips.
+  SessionProfile p;
+  p.hits_distribution = HitsDistribution::kPareto;
+  p.pareto_shape = 1.0;
+  const double at_one = p.mean_hits_per_page();
+  p.pareto_shape = 1.0 + 1e-6;
+  EXPECT_NEAR(p.mean_hits_per_page(), at_one, 1e-3);
+  p.pareto_shape = 1.0 - 1e-6;
+  EXPECT_NEAR(p.mean_hits_per_page(), at_one, 1e-3);
+  p.pareto_shape = 1.05;
+  const double empirical = empirical_hits_mean(p, 200000, 11);
+  EXPECT_NEAR(empirical, p.mean_hits_per_page(), 0.75);
+}
+
+TEST_F(ClientTest, NetworkTimeChargesReplyLegOnlyOnCompletion) {
+  // Regression (PR 8): the pre-fix client charged the full round trip at
+  // dispatch, so pages that never completed (crashed server, retried)
+  // still accumulated the reply leg they never received. The fix charges
+  // rtt/2 per dispatch and the remaining rtt/2 only in
+  // on_server_complete().
+  //
+  // Timeline with rtt = 0.2, retry delay 1.0, server crashed until t = 2:
+  //   t=0.0  dispatch #1 (+0.1) -> arrives 0.1, rejected, retry at 1.1
+  //   t=1.1  dispatch #2 (+0.1) -> arrives 1.2, rejected, retry at 2.2
+  //   t=2.2  dispatch #3 (+0.1) -> served; reply leg (+0.1) on completion
+  // Correct total: 0.4 (three request legs + one reply leg).
+  // Pre-fix total: 0.6 (three full round trips) — this test fails there.
+  auto geo = std::make_shared<const geo::GeoModel>(
+      geo::GeoModel::regions(3, 2, 1, 0.2, 0.5));  // 1 region: rtt = 0.2 always
+  SessionProfile one_page;
+  one_page.mean_pages_per_session = 1.0;  // geometric with mean 1: always 1 page
+  ThinkTimeModel think({1e6, 1e6, 1e6});  // park the client after the page
+  Client client(w.simulator, *w.ns, *w.dispatcher, one_page, think, w.rng.split(),
+                geo.get(), 1.0);
+  w.cluster->server(0).set_crashed(true);
+  w.cluster->server(1).set_crashed(true);
+  w.simulator.at(2.0, sim::assert_inline([this] {
+                   w.cluster->server(0).set_crashed(false);
+                   w.cluster->server(1).set_crashed(false);
+                 }));
+  client.start(0.0);
+  w.simulator.run_until(100.0);
+
+  EXPECT_EQ(client.pages_requested(), 1u);
+  EXPECT_EQ(client.pages_failed(), 2u);
+  EXPECT_NEAR(client.network_time_sec(), 0.4, 1e-12);
+}
+
+TEST_F(ClientTest, NetworkTimeIsOneRoundTripPerServedPage) {
+  // Fault-free single-page session: exactly one request leg plus one
+  // reply leg — one full round trip, nothing more.
+  auto geo = std::make_shared<const geo::GeoModel>(
+      geo::GeoModel::regions(3, 2, 1, 0.3, 0.5));
+  SessionProfile one_page;
+  one_page.mean_pages_per_session = 1.0;
+  ThinkTimeModel think({1e6, 1e6, 1e6});
+  Client client(w.simulator, *w.ns, *w.dispatcher, one_page, think, w.rng.split(),
+                geo.get(), 1.0);
+  client.start(0.0);
+  w.simulator.run_until(100.0);
+  EXPECT_EQ(client.pages_requested(), 1u);
+  EXPECT_EQ(client.pages_failed(), 0u);
+  EXPECT_NEAR(client.network_time_sec(), 0.3, 1e-12);
 }
 
 TEST_F(ClientTest, StartDelayDefersFirstSession) {

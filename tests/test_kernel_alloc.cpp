@@ -130,7 +130,7 @@ TEST(KernelAlloc, MetricHandleUpdatesAllocateNothing) {
   obs::Counter counter = registry.counter("test.counter");
   obs::Gauge gauge = registry.gauge("test.gauge");
   obs::HistogramHandle hist = registry.histogram("test.hist", 10.0, 64);
-  // Unbound (scratch-cell) handles: the disabled-observability path.
+  // Unbound (no-op) handles: the disabled-observability path.
   obs::Counter unbound_counter;
   obs::Gauge unbound_gauge;
   obs::HistogramHandle unbound_hist;

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
+#include <vector>
+
 namespace adattl::core {
 namespace {
 
@@ -178,6 +181,46 @@ TEST(SlidingWindowEstimator, TracksShiftSlowerThanEwma) {
   window.observe({10, 100}, 8.0);
   EXPECT_LT(m1.weight(0), m2.weight(0));
   EXPECT_GT(m1.weight(1), m2.weight(1));
+}
+
+// Exposes the protected incorporate() hook so the drift test can drive
+// windows directly and compare each returned average to the ground truth.
+struct SlidingWindowProbe : SlidingWindowLoadEstimator {
+  using SlidingWindowLoadEstimator::SlidingWindowLoadEstimator;
+  std::vector<double> feed(const std::vector<double>& rates) { return incorporate(rates); }
+};
+
+TEST(SlidingWindowEstimator, NoFloatingPointDriftOverAMillionWindows) {
+  // Regression (PR 8): the pre-fix estimator kept an add-then-subtract
+  // running sum. A flash-crowd window (1e16) absorbs every ordinary rate
+  // added after it (1e16 + 1.0 == 1e16 in double), so once the spike ages
+  // out, the subtraction leaves ~0 where the small windows' mass should
+  // be — the reported average collapses and *stays* wrong forever. The
+  // fix recomputes the sums from the retained windows each call; here a
+  // shadow deque recomputes the exact same reduction independently and
+  // every returned average must match, across a million windows.
+  DomainModel m({1.0, 1.0}, 0.4);
+  SlidingWindowProbe est(m, 32);
+  std::deque<std::vector<double>> shadow;
+  for (int w = 0; w < 1'000'000; ++w) {
+    std::vector<double> rates(2);
+    rates[0] = (w % 1000 == 500) ? 1e16 : 1.0 + static_cast<double>(w % 7) * 0.125;
+    rates[1] = 2.0 + static_cast<double>(w % 5) * 0.0625;
+    shadow.push_back(rates);
+    if (shadow.size() > 32) shadow.pop_front();
+
+    const std::vector<double> avg = est.feed(rates);
+    double expect0 = 0.0;
+    double expect1 = 0.0;
+    for (const std::vector<double>& win : shadow) {
+      expect0 += win[0];
+      expect1 += win[1];
+    }
+    expect0 /= static_cast<double>(shadow.size());
+    expect1 /= static_cast<double>(shadow.size());
+    ASSERT_EQ(avg[0], expect0) << "window " << w;
+    ASSERT_EQ(avg[1], expect1) << "window " << w;
+  }
 }
 
 }  // namespace

@@ -73,8 +73,10 @@ TEST(MetricsRegistry, UnboundHandlesAreSafeNoOps) {
   obs::HistogramHandle h;
   c.inc(7);
   g.set(1.0);
-  h.observe(0.5);  // must not crash; data goes to the scratch cells
-  SUCCEED();
+  h.observe(0.5);  // pure no-ops: no cell anywhere changes
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.cell().count, 0u);
 }
 
 TEST(MetricsRegistry, SnapshotDetachesAndFinds) {

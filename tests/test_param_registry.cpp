@@ -98,6 +98,9 @@ const std::map<std::string, std::string>& sample_values() {
       {"zipf-theta", "0.7"},
       {"uniform", "true"},
       {"error", "25"},
+      {"scale", "4"},
+      {"shard-domains", "true"},
+      {"shard-count", "3"},
       {"relative", "1,0.5"},
       {"total-capacity", "750"},
       {"policy", "DAL"},
