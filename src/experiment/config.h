@@ -10,6 +10,7 @@
 #include "web/cluster.h"
 #include "workload/client.h"
 #include "workload/think_time_model.h"
+#include "workload/trace.h"
 
 namespace adattl::experiment {
 
@@ -26,6 +27,8 @@ struct ServerOutage {
 enum class EstimatorKind {
   kEwma,           ///< exponentially-weighted moving average (default)
   kSlidingWindow,  ///< plain moving average over the last N windows
+  kHoltWinters,    ///< double-exponential level + trend, one-step forecast
+  kAr,             ///< AR(p) least-squares one-step prediction
 };
 
 /// Full description of one simulation run — the paper's Table 1 plus the
@@ -52,6 +55,12 @@ struct SimulationConfig {
   /// rate is multiplied by its factor (composing). The DNS is *not* told —
   /// only the online estimator can notice.
   std::vector<workload::RateShift> rate_shifts;
+  /// Trace-driven workload: each point SETS a domain's rate multiplier
+  /// outright (absolute, non-composing — see workload/trace.h). Loaded
+  /// from --workload-trace=FILE CSVs and/or inline --trace-point specs;
+  /// like rate_shifts the DNS is not told, and in sharded runs each event
+  /// fires only in its domain's owning shard.
+  std::vector<workload::TraceEvent> trace_events;
 
   // ---- DNS scheduling algorithm ----
   /// Name per core::parse_policy_name, e.g. "DRR2-TTL/S_K".
@@ -109,6 +118,10 @@ struct SimulationConfig {
   double estimator_smoothing = 0.3;
   /// Window count for the sliding-window estimator.
   int estimator_window_count = 8;
+  /// Trend smoothing (Holt-Winters beta); 0 degrades to plain EWMA.
+  double estimator_trend = 0.2;
+  /// Autoregressive order p for the AR estimator.
+  int estimator_ar_order = 3;
   /// Collect server counters every this many monitor ticks (4 × 8 s = 32 s).
   int estimator_collect_every_ticks = 4;
   /// Start the measured estimator from uniform weights instead of the true

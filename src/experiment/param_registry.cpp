@@ -170,6 +170,11 @@ void cross_validate(const SimulationConfig& c) {
     }
     if (shift.rate_factor <= 0) bad("config: rate shift factor must be > 0");
   }
+  try {
+    workload::validate_trace(c.trace_events, c.num_domains);
+  } catch (const std::invalid_argument& e) {
+    bad(std::string("config: ") + e.what());
+  }
   for (const ServerOutage& outage : c.outages) {
     if (outage.start_sec < 0) bad("config: outage in the past");
     if (outage.duration_sec <= 0) bad("config: outage needs duration");
@@ -411,23 +416,33 @@ ParamRegistry::ParamRegistry() {
     s.name = "estimator";
     s.kind = ParamKind::kString;
     s.group = "estimation";
-    s.hint = "ewma|window";
-    s.doc = "online estimator kind";
+    s.hint = "ewma|window|holt|ar";
+    s.doc = "online estimator kind (smoothing, window, predictive level+trend, AR(p))";
     s.set = [](C& o, const std::string& v) {
       if (v == "ewma") {
         o.config.estimator_kind = EstimatorKind::kEwma;
       } else if (v == "window") {
         o.config.estimator_kind = EstimatorKind::kSlidingWindow;
+      } else if (v == "holt") {
+        o.config.estimator_kind = EstimatorKind::kHoltWinters;
+      } else if (v == "ar") {
+        o.config.estimator_kind = EstimatorKind::kAr;
       } else {
-        bad("expected 'ewma' or 'window', got '" + v + "'");
+        bad("expected 'ewma', 'window', 'holt' or 'ar', got '" + v + "'");
       }
     };
     s.get = [](const C& o) {
-      return o.config.estimator_kind == EstimatorKind::kEwma ? "ewma" : "window";
+      switch (o.config.estimator_kind) {
+        case EstimatorKind::kEwma: return "ewma";
+        case EstimatorKind::kSlidingWindow: return "window";
+        case EstimatorKind::kHoltWinters: return "holt";
+        case EstimatorKind::kAr: return "ar";
+      }
+      return "?";
     };
     add(std::move(s));
   }
-  dbl("estimator-smoothing", "estimation", "ALPHA", "EWMA smoothing factor",
+  dbl("estimator-smoothing", "estimation", "ALPHA", "EWMA / Holt-Winters level smoothing factor",
       &S::estimator_smoothing,
       check_cfg([](const S& c) { return c.estimator_smoothing > 0 && c.estimator_smoothing <= 1; },
                 "config: estimator smoothing must lie in (0, 1]"));
@@ -435,6 +450,15 @@ ParamRegistry::ParamRegistry() {
           &S::estimator_window_count,
           check_cfg([](const S& c) { return c.estimator_window_count >= 1; },
                     "config: estimator window count >= 1"));
+  dbl("estimator-trend", "estimation", "BETA",
+      "Holt-Winters trend smoothing factor (0 = no trend term)", &S::estimator_trend,
+      check_cfg([](const S& c) { return c.estimator_trend >= 0 && c.estimator_trend <= 1; },
+                "config: estimator trend must lie in [0, 1]"));
+  integer("estimator-ar-order", "estimation", "P",
+          "autoregressive order for the AR estimator", &S::estimator_ar_order,
+          check_cfg(
+              [](const S& c) { return c.estimator_ar_order >= 1 && c.estimator_ar_order <= 16; },
+              "config: estimator AR order must lie in [1, 16]"));
   integer("estimator-collect-ticks", "estimation", "N",
           "collect server counters every N monitor ticks", &S::estimator_collect_every_ticks,
           check_cfg([](const S& c) { return c.estimator_collect_every_ticks >= 1; },
@@ -510,6 +534,49 @@ ParamRegistry::ParamRegistry() {
       }
       return out;
     };
+    add(std::move(s));
+  }
+  {
+    ParamSpec s;
+    s.name = "trace-point";
+    s.kind = ParamKind::kSpecList;
+    s.group = "dynamics";
+    s.hint = "T:DOMAIN:MULT";
+    s.doc = "trace point: SET DOMAIN's rate multiplier to MULT at time T (absolute)";
+    s.repeatable = true;
+    s.set = [](C& o, const std::string& v) {
+      const auto f = split_colon(v, 3, "T:DOMAIN:MULT");
+      workload::TraceEvent ev;
+      ev.at_sec = parse_double_value(f[0]);
+      ev.domain = parse_int32_value(f[1]);
+      ev.rate_multiplier = parse_double_value(f[2]);
+      o.config.trace_events.push_back(ev);
+    };
+    s.get_list = [](const C& o) {
+      std::vector<std::string> out;
+      for (const workload::TraceEvent& ev : o.config.trace_events) {
+        out.push_back(fmt_double(ev.at_sec) + ":" + fmt_int(ev.domain) + ":" +
+                      fmt_double(ev.rate_multiplier));
+      }
+      return out;
+    };
+    add(std::move(s));
+  }
+  {
+    ParamSpec s;
+    s.name = "workload-trace";
+    s.kind = ParamKind::kSpecList;
+    s.group = "dynamics";
+    s.hint = "FILE.csv";
+    s.doc = "replay an arrival-rate trace (t_sec,domain,rate_multiplier CSV)";
+    s.repeatable = true;
+    s.in_dump = false;  // dumped expanded into trace-point lines above
+    s.set = [](C& o, const std::string& v) {
+      const std::vector<workload::TraceEvent> events = workload::load_trace_file(v);
+      o.config.trace_events.insert(o.config.trace_events.end(), events.begin(),
+                                   events.end());
+    };
+    s.get_list = [](const C&) { return std::vector<std::string>{}; };
     add(std::move(s));
   }
   {
@@ -942,6 +1009,11 @@ std::string ParamRegistry::dump_scenario(const ConfigResolution& r) const {
     if (spec && spec->repeatable && spec->group == "faults") {
       const auto f = r.provenance.find("faults");
       if (f != r.provenance.end()) return f->second.layer;
+    }
+    // Same for trace points loaded via `workload-trace = FILE`.
+    if (name == "trace-point") {
+      const auto t = r.provenance.find("workload-trace");
+      if (t != r.provenance.end()) return t->second.layer;
     }
     return ParamLayer::kDefault;
   };

@@ -84,6 +84,10 @@ ShardedSite::ShardedSite(const SimulationConfig& config)
                        think->scale_rate(shift.domain, shift.rate_factor);
                      }));
     }
+    // Trace events fire only in the owning shard, like rate_shifts: every
+    // shard holds the full global trace but schedules just its slice.
+    workload::schedule_trace(*shard->sim, *shard->think, config_.trace_events,
+                             num_shards, s);
 
     // Full-capacity cluster replica: service times are exact; cross-shard
     // queueing contention is under-modeled (see class comment).
@@ -111,14 +115,25 @@ ShardedSite::ShardedSite(const SimulationConfig& config)
     shard->bundle =
         core::make_scheduler(config_.policy, fc, *shard->alarms, *shard->sim, shard->rng);
 
+    const bool seed_from_model = config_.estimator_cold_start && !config_.oracle_weights;
     switch (config_.estimator_kind) {
       case EstimatorKind::kEwma:
         shard->estimator = std::make_unique<core::EwmaLoadEstimator>(
-            *shard->bundle.domains, config_.estimator_smoothing, config_.oracle_weights);
+            *shard->bundle.domains, config_.estimator_smoothing, config_.oracle_weights,
+            seed_from_model);
         break;
       case EstimatorKind::kSlidingWindow:
         shard->estimator = std::make_unique<core::SlidingWindowLoadEstimator>(
             *shard->bundle.domains, config_.estimator_window_count, config_.oracle_weights);
+        break;
+      case EstimatorKind::kHoltWinters:
+        shard->estimator = std::make_unique<core::HoltWintersLoadEstimator>(
+            *shard->bundle.domains, config_.estimator_smoothing, config_.estimator_trend,
+            config_.oracle_weights, seed_from_model);
+        break;
+      case EstimatorKind::kAr:
+        shard->estimator = std::make_unique<core::ArLoadEstimator>(
+            *shard->bundle.domains, config_.estimator_ar_order, config_.oracle_weights);
         break;
     }
 

@@ -48,6 +48,8 @@ Site::Site(const SimulationConfig& config)
               think_model_->scale_rate(shift.domain, shift.rate_factor);
             }));
   }
+  // Trace replay rides the same mechanism with absolute multipliers.
+  workload::schedule_trace(sim_, *think_model_, config_.trace_events);
 
   // ---- Servers ----
   cluster_ = std::make_unique<web::Cluster>(sim_, config_.cluster, config_.num_domains, rng_);
@@ -99,14 +101,27 @@ Site::Site(const SimulationConfig& config)
   fc.geo = geo_;
   bundle_ = core::make_scheduler(config_.policy, fc, *alarms_, sim_, rng_);
 
+  // Cold-started estimators seed from the installed uniform prior instead
+  // of anchoring on whatever the first measured window happens to hold.
+  const bool seed_from_model = config_.estimator_cold_start && !config_.oracle_weights;
   switch (config_.estimator_kind) {
     case EstimatorKind::kEwma:
       estimator_ = std::make_unique<core::EwmaLoadEstimator>(
-          *bundle_.domains, config_.estimator_smoothing, config_.oracle_weights);
+          *bundle_.domains, config_.estimator_smoothing, config_.oracle_weights,
+          seed_from_model);
       break;
     case EstimatorKind::kSlidingWindow:
       estimator_ = std::make_unique<core::SlidingWindowLoadEstimator>(
           *bundle_.domains, config_.estimator_window_count, config_.oracle_weights);
+      break;
+    case EstimatorKind::kHoltWinters:
+      estimator_ = std::make_unique<core::HoltWintersLoadEstimator>(
+          *bundle_.domains, config_.estimator_smoothing, config_.estimator_trend,
+          config_.oracle_weights, seed_from_model);
+      break;
+    case EstimatorKind::kAr:
+      estimator_ = std::make_unique<core::ArLoadEstimator>(
+          *bundle_.domains, config_.estimator_ar_order, config_.oracle_weights);
       break;
   }
 

@@ -1,5 +1,7 @@
 #include "workload/think_time_model.h"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace adattl::workload {
@@ -22,8 +24,23 @@ double ThinkTimeModel::sample(web::DomainId d, sim::RngStream& rng) const {
 }
 
 void ThinkTimeModel::scale_rate(web::DomainId d, double factor) {
+  if (!std::isfinite(factor)) {
+    throw std::invalid_argument("ThinkTimeModel: rate factor must be finite");
+  }
   if (factor <= 0) throw std::invalid_argument("ThinkTimeModel: rate factor must be > 0");
-  multiplier_.at(static_cast<std::size_t>(d)) *= factor;
+  double& m = multiplier_.at(static_cast<std::size_t>(d));
+  m = std::clamp(m * factor, kMinRateMultiplier, kMaxRateMultiplier);
+}
+
+void ThinkTimeModel::set_rate(web::DomainId d, double multiplier) {
+  if (!std::isfinite(multiplier)) {
+    throw std::invalid_argument("ThinkTimeModel: rate multiplier must be finite");
+  }
+  if (multiplier <= 0) {
+    throw std::invalid_argument("ThinkTimeModel: rate multiplier must be > 0");
+  }
+  multiplier_.at(static_cast<std::size_t>(d)) =
+      std::clamp(multiplier, kMinRateMultiplier, kMaxRateMultiplier);
 }
 
 void ThinkTimeModel::reset_rate(web::DomainId d) {

@@ -18,6 +18,16 @@ namespace adattl::workload {
 /// their next think period, with no per-client bookkeeping.
 class ThinkTimeModel {
  public:
+  /// Bounds on a domain's composed rate multiplier. Long generated traces
+  /// compose thousands of small multiplicative steps; without a floor/cap
+  /// the product can underflow to denormal/0 (think time -> inf: the
+  /// domain silently dies) or overflow (think time -> 0: the event queue
+  /// floods with zero-delay wakeups). 1e-6..1e6 spans any physically
+  /// meaningful load swing while keeping base/multiplier comfortably
+  /// inside normal double range.
+  static constexpr double kMinRateMultiplier = 1e-6;
+  static constexpr double kMaxRateMultiplier = 1e6;
+
   explicit ThinkTimeModel(std::vector<double> base_mean_think_sec);
 
   int num_domains() const { return static_cast<int>(base_.size()); }
@@ -28,9 +38,17 @@ class ThinkTimeModel {
   /// Draws one exponential think time for a client of domain `d`.
   double sample(web::DomainId d, sim::RngStream& rng) const;
 
-  /// Scales domain `d`'s request rate by `factor` (> 0), composing with
-  /// any previous scaling. factor > 1 = hotter, < 1 = cooler.
+  /// Scales domain `d`'s request rate by `factor`, composing with any
+  /// previous scaling. factor > 1 = hotter, < 1 = cooler. Rejects
+  /// non-finite or non-positive factors; the composed multiplier is
+  /// clamped to [kMinRateMultiplier, kMaxRateMultiplier].
   void scale_rate(web::DomainId d, double factor);
+
+  /// Sets domain `d`'s rate multiplier outright (trace replay: each trace
+  /// point is an absolute multiplier, so replays are idempotent and never
+  /// compound). Rejects non-finite or non-positive multipliers; clamps to
+  /// the same validated range as scale_rate.
+  void set_rate(web::DomainId d, double multiplier);
 
   /// Resets domain `d` to its base rate.
   void reset_rate(web::DomainId d);

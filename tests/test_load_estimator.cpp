@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <deque>
 #include <vector>
 
@@ -93,11 +95,216 @@ TEST(LoadEstimator, EwmaUnseededZeroWindowsAreNoOps) {
   est.observe({0, 0}, 8.0);
   EXPECT_DOUBLE_EQ(m.weight(0), 3.0);
   EXPECT_DOUBLE_EQ(m.weight(1), 1.0);
-  EXPECT_EQ(est.windows_observed(), 2);
-  // The first real window still seeds outright (not blended with zeros).
+  // Regression: discarded pre-seed windows used to count as "observed"
+  // (the counter was bumped before incorporate() could reject them), so
+  // windows_observed() — and the kEstimatorUpdate trace record built from
+  // it — reported updates that never happened.
+  EXPECT_EQ(est.windows_observed(), 0);
+  // The first real window still seeds outright (not blended with zeros)
+  // and is the first window that counts.
   est.observe({80, 40}, 8.0);
   EXPECT_DOUBLE_EQ(m.weight(0), 10.0);
   EXPECT_DOUBLE_EQ(m.weight(1), 5.0);
+  EXPECT_EQ(est.windows_observed(), 1);
+}
+
+TEST(LoadEstimator, WindowsObservedCountsOnlyIncorporatedWindows) {
+  // Pins the observe()/incorporate() contract: empty return == discarded
+  // window == not counted; every non-empty return counts, including
+  // post-seed lulls (which DO update estimator state even though the
+  // all-zero result is not installed).
+  DomainModel m({1.0, 1.0}, 0.4);
+  EwmaLoadEstimator est(m, 1.0);
+  est.observe({0, 0}, 8.0);  // pre-seed lull: discarded
+  EXPECT_EQ(est.windows_observed(), 0);
+  est.observe({80, 40}, 8.0);  // seeds
+  EXPECT_EQ(est.windows_observed(), 1);
+  est.observe({0, 0}, 8.0);  // post-seed lull: wipes rates_, counts
+  EXPECT_EQ(est.windows_observed(), 2);
+  est.observe({8, 8}, 8.0);
+  EXPECT_EQ(est.windows_observed(), 3);
+}
+
+TEST(LoadEstimator, ColdStartSeedsFromModelPriorNotFirstWindow) {
+  // Regression: with estimator_cold_start the model deliberately starts
+  // from uniform weights, but the estimator still seeded OUTRIGHT from the
+  // first non-empty window — zero smoothing, so a flash crowd landing in
+  // that window became the entire estimate. The fix seeds from the
+  // installed prior (scale-matched to the window's total) and blends the
+  // first window through the normal smoothing path.
+  DomainModel m({1.0, 1.0}, 0.4);  // cold start: uniform prior
+  EwmaLoadEstimator est(m, 0.3, /*oracle=*/false, /*seed_from_model=*/true);
+  est.observe({800, 80}, 8.0);  // first window IS the spike: rates {100, 10}
+  // Prior {1, 1} scaled to the observed total 110 -> {55, 55}; one normal
+  // blend: 0.3 * {100, 10} + 0.7 * {55, 55} = {68.5, 41.5}.
+  EXPECT_DOUBLE_EQ(m.weight(0), 68.5);
+  EXPECT_DOUBLE_EQ(m.weight(1), 41.5);
+  // Pre-fix the estimate anchored at share(0) = 100/110 = 0.909 after one
+  // window; the prior keeps the first window's influence at ~alpha.
+  EXPECT_LT(m.share(0), 0.7);
+  // Pre-seed all-zero windows are still discarded under cold start.
+  DomainModel m2({1.0, 1.0}, 0.4);
+  EwmaLoadEstimator est2(m2, 0.3, false, true);
+  est2.observe({0, 0}, 8.0);
+  EXPECT_EQ(est2.windows_observed(), 0);
+  EXPECT_DOUBLE_EQ(m2.weight(0), 1.0);
+}
+
+TEST(HoltWintersEstimator, RejectsBadParameters) {
+  DomainModel m({1.0, 1.0}, 0.4);
+  EXPECT_THROW(HoltWintersLoadEstimator(m, 0.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(HoltWintersLoadEstimator(m, 1.5, 0.1), std::invalid_argument);
+  EXPECT_THROW(HoltWintersLoadEstimator(m, 0.3, -0.1), std::invalid_argument);
+  EXPECT_THROW(HoltWintersLoadEstimator(m, 0.3, 1.5), std::invalid_argument);
+}
+
+TEST(HoltWintersEstimator, ZeroTrendDegradesToEwma) {
+  // With beta = 0 the trend stays at its zero seed, so level updates are
+  // exactly the EWMA recurrence and the installed forecast equals it.
+  DomainModel m1({1.0, 1.0}, 0.4);
+  DomainModel m2({1.0, 1.0}, 0.4);
+  HoltWintersLoadEstimator hw(m1, 0.4, 0.0);
+  EwmaLoadEstimator ewma(m2, 0.4);
+  const std::vector<std::vector<std::uint64_t>> windows = {
+      {80, 40}, {160, 40}, {40, 200}, {0, 0}, {80, 80}};
+  for (const auto& w : windows) {
+    hw.observe(w, 8.0);
+    ewma.observe(w, 8.0);
+  }
+  EXPECT_DOUBLE_EQ(m1.weight(0), m2.weight(0));
+  EXPECT_DOUBLE_EQ(m1.weight(1), m2.weight(1));
+}
+
+TEST(HoltWintersEstimator, TracksLinearRampAheadOfEwma) {
+  // On a steady ramp (rate + 5 per window) the trend term extrapolates
+  // while plain EWMA lags by ~(1-alpha)/alpha steps.
+  DomainModel m1({1.0, 1.0}, 0.4);
+  DomainModel m2({1.0, 1.0}, 0.4);
+  HoltWintersLoadEstimator hw(m1, 0.3, 0.2);
+  EwmaLoadEstimator ewma(m2, 0.3);
+  double true_rate = 10.0;
+  for (int w = 0; w < 60; ++w) {
+    const auto hits = static_cast<std::uint64_t>(true_rate * 8.0);
+    hw.observe({hits, 80}, 8.0);
+    ewma.observe({hits, 80}, 8.0);
+    true_rate += 5.0;
+  }
+  const double hw_err = std::abs(m1.weight(0) - true_rate);
+  const double ewma_err = std::abs(m2.weight(0) - true_rate);
+  EXPECT_LT(hw_err, ewma_err);
+  EXPECT_LT(hw_err, 10.0);    // converged trend: forecast within 2 windows' slope
+  EXPECT_GT(ewma_err, 15.0);  // EWMA's structural lag: slope * (1-a)/a ~ 11.7 behind
+}
+
+TEST(HoltWintersEstimator, ForecastFlooredAtZeroOnCooldown) {
+  DomainModel m({1.0, 1.0}, 0.4);
+  HoltWintersLoadEstimator hw(m, 0.8, 0.8);
+  hw.observe({8000, 80}, 8.0);
+  for (int w = 0; w < 10; ++w) hw.observe({0, 80}, 8.0);
+  // A steep negative trend must not install a negative weight.
+  EXPECT_GE(m.weight(0), 0.0);
+  EXPECT_GT(m.weight(1), 0.0);
+}
+
+TEST(HoltWintersEstimator, ColdStartSeedsFromModelPrior) {
+  DomainModel m({1.0, 1.0}, 0.4);
+  HoltWintersLoadEstimator hw(m, 0.3, 0.2, /*oracle=*/false, /*seed_from_model=*/true);
+  hw.observe({800, 80}, 8.0);
+  // Same arithmetic as the EWMA cold-start case (trend seeds at zero, so
+  // the first forecast is the blended level plus beta * its own change).
+  EXPECT_LT(m.share(0), 0.75);
+  EXPECT_GT(m.weight(1), 0.0);
+}
+
+// Exposes the protected incorporate() hook so AR tests can feed exact
+// doubles instead of hits/window ratios.
+struct ArProbe : ArLoadEstimator {
+  using ArLoadEstimator::ArLoadEstimator;
+  std::vector<double> feed(const std::vector<double>& rates) { return incorporate(rates); }
+};
+
+TEST(ArEstimator, RejectsBadOrder) {
+  DomainModel m({1.0}, 0.4);
+  EXPECT_THROW(ArLoadEstimator(m, 0), std::invalid_argument);
+  EXPECT_THROW(ArLoadEstimator(m, -3), std::invalid_argument);
+}
+
+TEST(ArEstimator, FallsBackToNewestObservationUntilFitSupported) {
+  DomainModel m({1.0}, 0.4);
+  ArProbe ar(m, 3);
+  // Fewer than p + 2 = 5 regression rows -> persistence forecast.
+  EXPECT_DOUBLE_EQ(ar.feed({10.0})[0], 10.0);
+  EXPECT_DOUBLE_EQ(ar.feed({14.0})[0], 14.0);
+  EXPECT_DOUBLE_EQ(ar.feed({12.0})[0], 12.0);
+}
+
+TEST(ArEstimator, ConstantHistoryForecastsTheConstant) {
+  // A constant series makes the lag columns collinear with the intercept;
+  // the singular fallback must forecast the constant (persistence), not
+  // blow up or emit garbage.
+  DomainModel m({1.0}, 0.4);
+  ArProbe ar(m, 2);
+  std::vector<double> out;
+  for (int w = 0; w < 30; ++w) out = ar.feed({42.0});
+  EXPECT_DOUBLE_EQ(out[0], 42.0);
+}
+
+TEST(ArEstimator, RecoversExactAr1Process) {
+  // Noise-free AR(1): x' = 0.5 x + 20 from x0 = 100. The least-squares fit
+  // over distinct points recovers (c, phi) exactly, so the one-step
+  // forecast equals the true next value.
+  DomainModel m({1.0}, 0.4);
+  ArProbe ar(m, 1);
+  double x = 100.0;
+  double forecast = 0.0;
+  for (int w = 0; w < 12; ++w) {
+    forecast = ar.feed({x})[0];
+    x = 0.5 * x + 20.0;
+  }
+  EXPECT_NEAR(forecast, x, 1e-6);
+}
+
+TEST(PredictiveEstimators, ReconvergeFasterThanEwmaAfterStep) {
+  // The flash-crowd shape at unit scale: a stationary phase, then an 8x
+  // step. Count windows until each estimator's installed share of the
+  // spiked domain is within 2% of the new truth. AR snaps in O(1) windows
+  // (post-step its forecast rides the newest observations); Holt-Winters
+  // closes the gap faster than EWMA because the trend term extrapolates
+  // the jump; EWMA needs ~1/alpha * ln(1/eps) windows.
+  const auto windows_to_converge = [](auto& est, DomainModel& m) {
+    for (int w = 0; w < 40; ++w) est.observe({100 * 8, 100 * 8}, 8.0);
+    const double true_share = 800.0 / 900.0;
+    for (int w = 1; w <= 200; ++w) {
+      est.observe({800 * 8, 100 * 8}, 8.0);
+      if (std::abs(m.share(0) - true_share) < 0.02) return w;
+    }
+    return 1000;
+  };
+  DomainModel me({1.0, 1.0}, 0.4);
+  DomainModel mh({1.0, 1.0}, 0.4);
+  DomainModel ma({1.0, 1.0}, 0.4);
+  EwmaLoadEstimator ewma(me, 0.3);
+  HoltWintersLoadEstimator hw(mh, 0.3, 0.2);
+  ArLoadEstimator ar(ma, 3);
+  const int we = windows_to_converge(ewma, me);
+  const int wh = windows_to_converge(hw, mh);
+  const int wa = windows_to_converge(ar, ma);
+  EXPECT_LT(wh, we);
+  EXPECT_LT(wa, we);
+  EXPECT_GT(we, 3);  // sanity: EWMA at default smoothing really does lag
+}
+
+TEST(PredictiveEstimators, OracleModeInert) {
+  DomainModel m1({9.0, 1.0}, 0.4);
+  DomainModel m2({9.0, 1.0}, 0.4);
+  HoltWintersLoadEstimator hw(m1, 0.3, 0.2, /*oracle=*/true);
+  ArLoadEstimator ar(m2, 3, /*oracle=*/true);
+  hw.observe({1, 99}, 8.0);
+  ar.observe({1, 99}, 8.0);
+  EXPECT_DOUBLE_EQ(m1.weight(0), 9.0);
+  EXPECT_DOUBLE_EQ(m2.weight(0), 9.0);
+  EXPECT_EQ(hw.windows_observed(), 0);
+  EXPECT_EQ(ar.windows_observed(), 0);
 }
 
 TEST(SlidingWindowEstimator, EmptyWindowsAgeOutOldTraffic) {
@@ -221,6 +428,41 @@ TEST(SlidingWindowEstimator, NoFloatingPointDriftOverAMillionWindows) {
     ASSERT_EQ(avg[0], expect0) << "window " << w;
     ASSERT_EQ(avg[1], expect1) << "window " << w;
   }
+}
+
+TEST(LoadEstimator, InstalledWeightsNeverHitExactZero) {
+  // Regression: a predictive forecast can legitimately clamp to exactly
+  // zero — AR predicting past the bottom of a decay, Holt-Winters' floored
+  // level+trend, a sliding window whose every retained window saw zero
+  // hits for a domain. Installing that zero verbatim tells weight-*ratio*
+  // consumers the domain never gets requests: AdaptiveTtlPolicy's
+  // hottest/weight domain factor lands on its 1e-12 div-by-zero guard and
+  // hands out TTLs ~1e12x the reference (observed as a mean handed-out TTL
+  // of ~4e13 s in a 600 s run). observe() floors every installed weight at
+  // kMinInstallFraction of the hottest installed weight instead.
+  DomainModel m({1.0, 1.0}, 0.4);
+  ArLoadEstimator ar(m, 3);
+  // Two windows is below AR(3)'s fit threshold, so the forecast is the
+  // newest-observation fallback — exactly 0 for domain 0. (The fitted
+  // path produces the same zero whenever the regression predicts past the
+  // bottom of a decay and clamps.) Domain 1's fallback forecast is 50.
+  ar.observe({80, 400}, 8.0);
+  ar.observe({0, 400}, 8.0);
+  EXPECT_GT(m.weight(0), 0.0);
+  EXPECT_GT(m.share(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.weight(0), LoadEstimator::kMinInstallFraction * m.weight(1));
+}
+
+TEST(SlidingWindowEstimator, AllZeroDomainInstallsPositiveFloor) {
+  // Pre-existing shape of the same defect: a domain with zero hits in
+  // every retained window averages to exactly 0 — no predictive estimator
+  // required.
+  DomainModel m({1.0, 1.0}, 0.4);
+  SlidingWindowLoadEstimator est(m, 2);
+  est.observe({0, 160}, 8.0);
+  est.observe({0, 160}, 8.0);
+  EXPECT_GT(m.weight(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.weight(0), LoadEstimator::kMinInstallFraction * 20.0);
 }
 
 }  // namespace

@@ -112,9 +112,11 @@ const std::map<std::string, std::string>& sample_values() {
       {"queue-alarm", "40"},
       {"monitor-interval", "4"},
       {"measured", "true"},
-      {"estimator", "window"},
+      {"estimator", "holt"},
       {"estimator-smoothing", "0.5"},
       {"estimator-windows", "5"},
+      {"estimator-trend", "0.35"},
+      {"estimator-ar-order", "4"},
       {"estimator-collect-ticks", "2"},
       {"cold-start", "true"},
       {"min-ttl", "60"},
@@ -127,6 +129,7 @@ const std::map<std::string, std::string>& sample_values() {
       {"redirect-delay", "0.25"},
       {"redirect", "true"},
       {"shift", "600:3:5"},
+      {"trace-point", "900:4:2.5"},
       {"outage", "100:60:2"},
       {"crash", "900:60:2"},
       {"degrade", "900:60:1:0.5"},

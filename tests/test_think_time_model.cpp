@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "workload/client.h"
 
 namespace adattl::workload {
@@ -49,6 +52,56 @@ TEST(ThinkTimeModel, RejectsNonPositiveFactor) {
   ThinkTimeModel m({15.0});
   EXPECT_THROW(m.scale_rate(0, 0.0), std::invalid_argument);
   EXPECT_THROW(m.scale_rate(0, -2.0), std::invalid_argument);
+}
+
+TEST(ThinkTimeModel, RejectsNonFiniteFactor) {
+  // Regression: scale_rate accepted inf/NaN, which poisoned the multiplier
+  // permanently (every later composition stays non-finite).
+  ThinkTimeModel m({15.0});
+  EXPECT_THROW(m.scale_rate(0, std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW(m.scale_rate(0, std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW(m.set_rate(0, std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW(m.set_rate(0, std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_DOUBLE_EQ(m.rate_multiplier(0), 1.0);
+}
+
+TEST(ThinkTimeModel, ComposedMultiplierIsClamped) {
+  // Regression: composition was unbounded. A long generated trace of small
+  // multiplicative steps (here 5000 x 1.5x, ~10^880) drove the multiplier
+  // to inf and mean_think to 0, flooding the event queue with zero-delay
+  // wakeups; the mirror-image cooling trace underflowed to denormal/0 and
+  // silently killed the domain (mean_think -> inf).
+  ThinkTimeModel hot({10.0});
+  for (int i = 0; i < 5000; ++i) hot.scale_rate(0, 1.5);
+  EXPECT_DOUBLE_EQ(hot.rate_multiplier(0), ThinkTimeModel::kMaxRateMultiplier);
+  EXPECT_GT(hot.mean_think(0), 0.0);
+
+  ThinkTimeModel cold({10.0});
+  for (int i = 0; i < 5000; ++i) cold.scale_rate(0, 1.0 / 1.5);
+  EXPECT_DOUBLE_EQ(cold.rate_multiplier(0), ThinkTimeModel::kMinRateMultiplier);
+  EXPECT_TRUE(std::isfinite(cold.mean_think(0)));
+  // Clamped is recoverable: scaling back up works (the pre-fix underflow
+  // to 0 was not — 0 * anything stays 0).
+  cold.scale_rate(0, 1e6);
+  EXPECT_DOUBLE_EQ(cold.rate_multiplier(0), 1.0);
+}
+
+TEST(ThinkTimeModel, SetRateIsAbsoluteAndIdempotent) {
+  ThinkTimeModel m({12.0});
+  m.scale_rate(0, 4.0);
+  m.set_rate(0, 3.0);  // absolute: replaces, does not compose with the 4x
+  EXPECT_DOUBLE_EQ(m.rate_multiplier(0), 3.0);
+  EXPECT_DOUBLE_EQ(m.mean_think(0), 4.0);
+  m.set_rate(0, 3.0);  // replaying the same trace point changes nothing
+  EXPECT_DOUBLE_EQ(m.rate_multiplier(0), 3.0);
+  EXPECT_THROW(m.set_rate(0, 0.0), std::invalid_argument);
+  EXPECT_THROW(m.set_rate(0, -1.0), std::invalid_argument);
+  m.set_rate(0, 1e12);  // clamped to the validated range
+  EXPECT_DOUBLE_EQ(m.rate_multiplier(0), ThinkTimeModel::kMaxRateMultiplier);
 }
 
 TEST(ThinkTimeModel, SampleMeanTracksScaledRate) {

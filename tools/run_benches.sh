@@ -30,7 +30,7 @@ if [[ ${RELEASE} -eq 1 ]]; then
   cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >&2
   cmake --build "${BUILD_DIR}" -j \
         --target micro_event_queue micro_simulation micro_obs micro_fault \
-                 micro_scale micro_dnsd adattl_dnsd adattl_dnsblast >&2
+                 micro_scale micro_dnsd micro_estimator adattl_dnsd adattl_dnsblast >&2
 fi
 
 # The google-benchmark "library_build_type" context reports how the
@@ -80,6 +80,44 @@ with open(out_path, "w") as f:
     json.dump({"context": context, "benchmarks": distilled}, f, indent=2, sort_keys=True)
     f.write("\n")
 print(f"wrote {out_path} ({len(distilled)} benchmarks)")
+PY
+
+# ---- Estimator quality: flash-crowd + diurnal ablation ----
+# micro_estimator is not a timing bench: it replays scripted collection
+# windows through all four load estimators and emits accuracy metrics
+# (peak share error, windows-to-reconverge) as JSON on stdout, exiting
+# nonzero if the predictive estimators stop beating EWMA. Distilled into
+# BENCH_estimator.json with the usual context header.
+EST_OUT="$(dirname "${OUT}")/BENCH_estimator.json"
+est_bin="${BUILD_DIR}/bench/micro_estimator"
+if [[ ! -x "${est_bin}" ]]; then
+  echo "error: ${est_bin} not built (cmake --build ${BUILD_DIR} --target micro_estimator)" >&2
+  exit 1
+fi
+echo "running ${est_bin} ..." >&2
+"${est_bin}" > "${EST_OUT%.json}.raw.micro_estimator.json"
+
+python3 - "${EST_OUT}" "${EST_OUT%.json}.raw.micro_estimator.json" <<'PY'
+import datetime, json, os, socket, sys
+
+out_path, raw_path = sys.argv[1:]
+with open(raw_path) as f:
+    dump = json.load(f)
+
+dump["context"].update({
+    "date": datetime.datetime.now().astimezone().isoformat(timespec="seconds"),
+    "host_name": socket.gethostname(),
+    "num_cpus": os.cpu_count(),
+    "build_type": os.environ.get("BENCH_BUILD_TYPE", "unspecified"),
+})
+if not (dump["summary"]["holt_reconverges_faster_than_ewma"]
+        and dump["summary"]["ar_reconverges_faster_than_ewma"]):
+    sys.exit("estimator ablation regressed: predictive estimators no longer beat EWMA")
+
+with open(out_path, "w") as f:
+    json.dump(dump, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path}")
 PY
 
 # ---- Population scale: events/sec from 5k to 1M clients ----
