@@ -11,7 +11,11 @@ AlarmRegistry::AlarmRegistry(int num_servers, double threshold, bool enabled,
       enabled_(enabled),
       alarmed_(static_cast<std::size_t>(num_servers), false),
       down_(static_cast<std::size_t>(num_servers), false),
-      eligible_(static_cast<std::size_t>(num_servers), true) {
+      in_pool_(static_cast<std::size_t>(num_servers), true),
+      eligible_(static_cast<std::size_t>(num_servers), true),
+      last_utilization_(static_cast<std::size_t>(num_servers), 0.0),
+      last_queue_depth_(static_cast<std::size_t>(num_servers), 0),
+      pool_size_(num_servers) {
   if (num_servers <= 0) throw std::invalid_argument("AlarmRegistry: need >= 1 server");
   if (threshold <= 0.0 || threshold > 1.0) {
     throw std::invalid_argument("AlarmRegistry: threshold must lie in (0, 1]");
@@ -33,6 +37,14 @@ void AlarmRegistry::bind_observability(obs::MetricsRegistry* registry,
 
 void AlarmRegistry::observe_full(sim::SimTime now, const std::vector<double>& utilizations,
                                  const std::vector<std::size_t>& queue_lengths) {
+  // Retain the feedback snapshot for DecisionContext consumers before the
+  // enabled_ gate: disabling the paper's alarm signalling must not blind
+  // cost-based policies or the autoscaler to observed utilization.
+  if (utilizations.size() == alarmed_.size()) {
+    last_utilization_ = utilizations;
+    if (queue_lengths.size() == alarmed_.size()) last_queue_depth_ = queue_lengths;
+    ++feedback_generation_;
+  }
   if (!enabled_) return;
   if (utilizations.size() != alarmed_.size()) {
     throw std::invalid_argument("AlarmRegistry: utilization vector size mismatch");
@@ -77,20 +89,34 @@ void AlarmRegistry::set_down(web::ServerId s, bool down) {
   rebuild_eligible();
 }
 
+void AlarmRegistry::set_in_pool(web::ServerId s, bool in_pool) {
+  if (in_pool_.at(static_cast<std::size_t>(s)) == in_pool) return;
+  in_pool_[static_cast<std::size_t>(s)] = in_pool;
+  pool_size_ += in_pool ? 1 : -1;
+  ++pool_changes_;
+  rebuild_eligible();
+}
+
 void AlarmRegistry::rebuild_eligible() {
+  // Widening ladder: in-pool healthy servers first; if every in-pool
+  // server is alarmed, any in-pool up server; if the pool is empty or
+  // fully down, any up server (the DNS must answer with something); if
+  // the whole site is down, everyone.
   bool any = false;
+  bool any_pool_up = false;
   bool any_up = false;
   for (std::size_t i = 0; i < alarmed_.size(); ++i) {
-    eligible_[i] = !alarmed_[i] && !down_[i];
+    eligible_[i] = in_pool_[i] && !alarmed_[i] && !down_[i];
     any = any || eligible_[i];
+    any_pool_up = any_pool_up || (in_pool_[i] && !down_[i]);
     any_up = any_up || !down_[i];
   }
-  if (!any && any_up) {
-    // Every up server is overloaded: the DNS still has to answer address
-    // requests, so fall back to considering all servers that are not down.
+  if (any) return;
+  if (any_pool_up) {
+    for (std::size_t i = 0; i < down_.size(); ++i) eligible_[i] = in_pool_[i] && !down_[i];
+  } else if (any_up) {
     for (std::size_t i = 0; i < down_.size(); ++i) eligible_[i] = !down_[i];
-  } else if (!any) {
-    // The whole site is down; answers must still name someone.
+  } else {
     eligible_.assign(eligible_.size(), true);
   }
 }

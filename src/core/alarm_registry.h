@@ -46,9 +46,34 @@ class AlarmRegistry {
   void set_down(web::ServerId s, bool down);
   bool is_down(web::ServerId s) const { return down_.at(static_cast<std::size_t>(s)); }
 
+  /// Elastic pool membership (extension): a scaled-down server leaves the
+  /// DNS pool — no new mappings — but keeps draining its queue and serving
+  /// pages from cached mappings until they expire, so work is conserved.
+  /// Distinct from both the soft alarm and the hard down bit: membership
+  /// is an *operator/autoscaler decision*, not a health observation.
+  void set_in_pool(web::ServerId s, bool in_pool);
+  bool in_pool(web::ServerId s) const { return in_pool_.at(static_cast<std::size_t>(s)); }
+
+  /// Servers currently in the DNS pool.
+  int pool_size() const { return pool_size_; }
+
+  /// Count of effective pool-membership flips (scale-up + scale-down).
+  std::uint64_t pool_changes() const { return pool_changes_; }
+
   /// True for servers eligible to receive new mappings. If every server is
-  /// alarmed the DNS must still answer, so all become eligible again.
+  /// alarmed the DNS must still answer, so eligibility widens along the
+  /// ladder in-pool-healthy → in-pool-up → any-up → all.
   const std::vector<bool>& eligible() const { return eligible_; }
+
+  /// Last utilization / queue observation incorporated by observe_full —
+  /// retained (even when alarm signalling is disabled) so the scheduler
+  /// can hand feedback state to cost-based policies via DecisionContext.
+  const std::vector<double>& last_utilization() const { return last_utilization_; }
+  const std::vector<std::size_t>& last_queue_depth() const { return last_queue_depth_; }
+
+  /// Monotonic count of incorporated observations (DecisionContext's
+  /// anti-herding epoch).
+  std::uint64_t feedback_generation() const { return feedback_generation_; }
 
   double threshold() const { return threshold_; }
   std::size_t queue_threshold() const { return queue_threshold_; }
@@ -71,7 +96,13 @@ class AlarmRegistry {
   bool enabled_;
   std::vector<bool> alarmed_;
   std::vector<bool> down_;
+  std::vector<bool> in_pool_;
   std::vector<bool> eligible_;
+  std::vector<double> last_utilization_;
+  std::vector<std::size_t> last_queue_depth_;
+  int pool_size_ = 0;
+  std::uint64_t pool_changes_ = 0;
+  std::uint64_t feedback_generation_ = 0;
   std::uint64_t alarm_signals_ = 0;
   std::uint64_t normal_signals_ = 0;
   obs::Counter obs_alarms_;

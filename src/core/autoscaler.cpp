@@ -1,0 +1,64 @@
+#include "core/autoscaler.h"
+
+#include <stdexcept>
+
+namespace adattl::core {
+
+Autoscaler::Autoscaler(AlarmRegistry& alarms, const Config& config)
+    : alarms_(alarms), config_(config) {
+  if (!(config.low_watermark >= 0.0 && config.low_watermark < config.high_watermark &&
+        config.high_watermark <= 1.0)) {
+    throw std::invalid_argument("Autoscaler: need 0 <= low < high <= 1");
+  }
+  if (config.hysteresis_ticks < 1) throw std::invalid_argument("Autoscaler: need >= 1 tick");
+  if (config.min_servers < 1) throw std::invalid_argument("Autoscaler: need min_servers >= 1");
+}
+
+void Autoscaler::observe(const std::vector<double>& utilization) {
+  // Mean utilization over the in-pool servers — the pool the DNS is
+  // actually loading. An empty pool (operator scaled everything out)
+  // reads as fully loaded so scale-up pressure builds immediately.
+  double sum = 0.0;
+  int pool = 0;
+  for (std::size_t i = 0; i < utilization.size(); ++i) {
+    if (!alarms_.in_pool(static_cast<web::ServerId>(i))) continue;
+    sum += utilization[i];
+    ++pool;
+  }
+  const double mean = pool > 0 ? sum / pool : 1.0;
+
+  if (mean > config_.high_watermark) {
+    ticks_low_ = 0;
+    if (++ticks_high_ >= config_.hysteresis_ticks) {
+      ticks_high_ = 0;
+      // Re-admit the lowest-index parked server that is not down.
+      for (std::size_t i = 0; i < utilization.size(); ++i) {
+        const auto s = static_cast<web::ServerId>(i);
+        if (alarms_.in_pool(s) || alarms_.is_down(s)) continue;
+        alarms_.set_in_pool(s, true);
+        ++scale_up_actions_;
+        break;
+      }
+    }
+  } else if (mean < config_.low_watermark) {
+    ticks_high_ = 0;
+    if (++ticks_low_ >= config_.hysteresis_ticks) {
+      ticks_low_ = 0;
+      if (alarms_.pool_size() > config_.min_servers) {
+        // Park the highest-index in-pool server.
+        for (std::size_t i = utilization.size(); i-- > 0;) {
+          const auto s = static_cast<web::ServerId>(i);
+          if (!alarms_.in_pool(s)) continue;
+          alarms_.set_in_pool(s, false);
+          ++scale_down_actions_;
+          break;
+        }
+      }
+    }
+  } else {
+    ticks_high_ = 0;
+    ticks_low_ = 0;
+  }
+}
+
+}  // namespace adattl::core

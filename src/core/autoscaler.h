@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/alarm_registry.h"
+
+namespace adattl::core {
+
+/// Watermark autoscaler (extension, arXiv:1103.1207 direction): rides the
+/// same monitor-tick feedback the alarm registry consumes and adjusts DNS
+/// pool membership one server per action.
+///
+/// Rule: mean utilization over in-pool servers above `high_watermark` for
+/// `hysteresis_ticks` consecutive observations → re-admit the lowest-index
+/// parked server; below `low_watermark` for as many ticks → park the
+/// highest-index in-pool server (never below `min_servers`). The counter
+/// resets whenever the mean re-enters the dead band or an action fires, so
+/// flapping needs a sustained swing. Everything is a pure function of the
+/// observation sequence — sharded runs feed every shard the same merged
+/// view and each shard's autoscaler reaches the same decisions in
+/// lockstep.
+///
+/// Parked servers stay up: they drain their queues and serve pages from
+/// cached mappings (conservation holds), they simply receive no new
+/// mappings. Crashed servers are not candidates for re-admission.
+class Autoscaler {
+ public:
+  struct Config {
+    double high_watermark = 0.75;
+    double low_watermark = 0.30;
+    int hysteresis_ticks = 3;
+    int min_servers = 1;
+  };
+
+  Autoscaler(AlarmRegistry& alarms, const Config& config);
+
+  /// Feeds one merged utilization observation (index == ServerId); call
+  /// after AlarmRegistry::observe_full on each monitor tick.
+  void observe(const std::vector<double>& utilization);
+
+  std::uint64_t scale_up_actions() const { return scale_up_actions_; }
+  std::uint64_t scale_down_actions() const { return scale_down_actions_; }
+
+ private:
+  AlarmRegistry& alarms_;
+  Config config_;
+  int ticks_high_ = 0;
+  int ticks_low_ = 0;
+  std::uint64_t scale_up_actions_ = 0;
+  std::uint64_t scale_down_actions_ = 0;
+};
+
+}  // namespace adattl::core

@@ -17,7 +17,8 @@ DalPolicy::DalPolicy(sim::Simulator& sim, const DomainModel& domains,
   }
 }
 
-web::ServerId DalPolicy::select(web::DomainId /*domain*/, const std::vector<bool>& eligible) {
+web::ServerId DalPolicy::select(const DecisionContext& ctx) {
+  const std::vector<bool>& eligible = *ctx.eligible;
   int best = -1;
   double best_norm = 0.0;
   for (std::size_t i = 0; i < capacities_.size(); ++i) {

@@ -22,7 +22,8 @@ class DalPolicy : public SelectionPolicy {
  public:
   DalPolicy(sim::Simulator& sim, const DomainModel& domains, std::vector<double> capacities);
 
-  web::ServerId select(web::DomainId domain, const std::vector<bool>& eligible) override;
+  using SelectionPolicy::select;
+  web::ServerId select(const DecisionContext& ctx) override;
   void on_assign(web::DomainId domain, web::ServerId server, double ttl) override;
   std::vector<double> stationary_shares() const override;
   std::string name() const override { return "DAL"; }

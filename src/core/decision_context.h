@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "web/types.h"
+
+namespace adattl::geo {
+class GeoModel;
+}
+
+namespace adattl::core {
+
+/// Everything the DNS knows at the moment it must pick a server for one
+/// address request. The scheduler assembles one of these per decision and
+/// hands it to SelectionPolicy::select, so every objective — the paper's
+/// pure utilization balancing, proximity-first, or the composite
+/// latency/load cost family — reads from the same snapshot.
+///
+/// Pointer fields reference state owned by the scheduler's collaborators
+/// (AlarmRegistry, GeoModel); they are valid only for the duration of the
+/// select() call and must not be retained. `eligible` is never null and
+/// never all-false (AlarmRegistry guarantees a fallback). `utilization`
+/// and `queue_depth` are null until the first monitor observation reaches
+/// the registry (and always null in feedback-free unit-test harnesses);
+/// `geo` is null when geography is disabled. Policies that require a field
+/// beyond `domain` + `eligible` must check and fail loudly rather than
+/// guess.
+struct DecisionContext {
+  /// Requesting local-gateway domain.
+  web::DomainId domain = 0;
+
+  /// Alarm-filtered eligibility mask, one entry per server (in-pool AND
+  /// not crashed AND not alarmed, with the registry's fallback ladder).
+  const std::vector<bool>* eligible = nullptr;
+
+  /// Last observed per-server utilization (busy fraction over the previous
+  /// monitor interval), as delivered to AlarmRegistry::observe_full. Stale
+  /// by up to one alarm interval — that staleness is the paper's point.
+  const std::vector<double>* utilization = nullptr;
+
+  /// Last observed per-server queue depth (same observation as above).
+  const std::vector<std::size_t>* queue_depth = nullptr;
+
+  /// Domain↔server RTT model, when geography is enabled.
+  const geo::GeoModel* geo = nullptr;
+
+  /// Number of servers currently in the DNS pool (elastic scale-up /
+  /// scale-down tracks this; crashed-but-in-pool servers still count).
+  int pool_size = 0;
+
+  /// Monotonic counter of monitor observations incorporated into the
+  /// registry. Policies that spread assignments between feedback updates
+  /// (anti-herding) reset their per-interval state when this advances.
+  std::uint64_t feedback_generation = 0;
+};
+
+}  // namespace adattl::core

@@ -24,7 +24,8 @@ double MrlPolicy::residual(web::ServerId s) const {
   return std::max(0.0, rate_expiry_sum_[i] - sim_.now() * rate_sum_[i]);
 }
 
-web::ServerId MrlPolicy::select(web::DomainId /*domain*/, const std::vector<bool>& eligible) {
+web::ServerId MrlPolicy::select(const DecisionContext& ctx) {
+  const std::vector<bool>& eligible = *ctx.eligible;
   int best = -1;
   double best_norm = 0.0;
   for (std::size_t i = 0; i < capacities_.size(); ++i) {

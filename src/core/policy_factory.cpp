@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include <cstdio>
+
+#include "core/cost_policy.h"
 #include "core/dal_policy.h"
 #include "core/mrl_policy.h"
 #include "core/proximity_policy.h"
@@ -11,6 +14,36 @@
 
 namespace adattl::core {
 namespace {
+
+std::string format_cost_token(const char* base, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s(%g)", base, value);
+  return buf;
+}
+
+/// Parses the "(value)" parameter of a COST/COSTCAP token; returns false
+/// when the token is not of the `base` / `base(value)` form.
+bool parse_cost_param(const std::string& tok, const std::string& base, double fallback,
+                      double* out) {
+  if (tok == base) {
+    *out = fallback;
+    return true;
+  }
+  if (tok.size() < base.size() + 3 || tok.rfind(base + "(", 0) != 0 || tok.back() != ')') {
+    return false;
+  }
+  const std::string body = tok.substr(base.size() + 1, tok.size() - base.size() - 2);
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(body, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("'" + tok + "': bad " + base + " parameter");
+  }
+  if (pos != body.size()) throw std::invalid_argument("'" + tok + "': bad " + base + " parameter");
+  *out = value;
+  return true;
+}
 
 std::string selection_token(const PolicySpec& spec) {
   switch (spec.selection) {
@@ -34,6 +67,10 @@ std::string selection_token(const PolicySpec& spec) {
       return "MRL";
     case SelectionKind::kGEO:
       return "GEO";
+    case SelectionKind::kCost:
+      return format_cost_token("COST", spec.cost_alpha);
+    case SelectionKind::kCostCap:
+      return format_cost_token("COSTCAP", spec.cost_cap_sec);
   }
   throw std::logic_error("unknown selection kind");
 }
@@ -85,6 +122,27 @@ bool parse_selection(const std::string& tok, PolicySpec* spec) {
   if (tok == "GEO") {
     spec->selection = SelectionKind::kGEO;
     return false;
+  }
+  // COSTCAP before COST: the longer token shares the shorter's prefix.
+  if (tok.rfind("COSTCAP", 0) == 0) {
+    double cap = 0.0;
+    if (parse_cost_param(tok, "COSTCAP", spec->cost_cap_sec, &cap)) {
+      if (!(cap > 0.0)) throw std::invalid_argument("'" + tok + "': COSTCAP cap must be > 0");
+      spec->selection = SelectionKind::kCostCap;
+      spec->cost_cap_sec = cap;
+      return false;
+    }
+  }
+  if (tok.rfind("COST", 0) == 0) {
+    double alpha = 0.0;
+    if (parse_cost_param(tok, "COST", spec->cost_alpha, &alpha)) {
+      if (!(alpha >= 0.0 && alpha <= 1.0)) {
+        throw std::invalid_argument("'" + tok + "': COST alpha must lie in [0, 1]");
+      }
+      spec->selection = SelectionKind::kCost;
+      spec->cost_alpha = alpha;
+      return false;
+    }
   }
   // The paper writes DRR/DRR2 for "RR/RR2 combined with deterministic
   // (server-aware) adaptive TTL" — same selection rule, different TTL.
@@ -156,6 +214,17 @@ PolicySpec parse_policy_name(const std::string& name) {
 
 void validate_policy_name(const std::string& name) { (void)parse_policy_name(name); }
 
+bool policy_requires_geo(const std::string& name) {
+  PolicySpec spec;
+  try {
+    spec = parse_policy_name(name);
+  } catch (const std::invalid_argument&) {
+    return false;  // the policy knob's own check reports unparsable names
+  }
+  return spec.selection == SelectionKind::kGEO || spec.selection == SelectionKind::kCost ||
+         spec.selection == SelectionKind::kCostCap;
+}
+
 std::vector<std::string> paper_policy_names() {
   return {
       "RR",           "RR2",           "DAL",
@@ -216,6 +285,18 @@ SchedulerBundle make_scheduler(const std::string& name, const SchedulerFactoryCo
       }
       selection = std::make_unique<ProximityPolicy>(config.geo, config.capacities);
       break;
+    case SelectionKind::kCost:
+      if (!config.geo) {
+        throw std::invalid_argument("make_scheduler: 'COST' needs a geo model in the config");
+      }
+      selection = std::make_unique<CompositeCostPolicy>(config.capacities, spec.cost_alpha);
+      break;
+    case SelectionKind::kCostCap:
+      if (!config.geo) {
+        throw std::invalid_argument("make_scheduler: 'COSTCAP' needs a geo model in the config");
+      }
+      selection = std::make_unique<LatencyCapPolicy>(config.capacities, spec.cost_cap_sec);
+      break;
   }
 
   std::unique_ptr<TtlPolicy> ttl;
@@ -231,7 +312,7 @@ SchedulerBundle make_scheduler(const std::string& name, const SchedulerFactoryCo
   }
 
   bundle.scheduler = std::make_unique<DnsScheduler>(spec.canonical_name(), std::move(selection),
-                                                    std::move(ttl), alarms);
+                                                    std::move(ttl), alarms, config.geo);
   return bundle;
 }
 

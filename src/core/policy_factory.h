@@ -14,7 +14,7 @@
 namespace adattl::core {
 
 /// Which server-selection rule a composite algorithm uses.
-enum class SelectionKind { kRR, kRR2, kRRn, kPRR, kPRR2, kWRR, kDAL, kMRL, kGEO };
+enum class SelectionKind { kRR, kRR2, kRRn, kPRR, kPRR2, kWRR, kDAL, kMRL, kGEO, kCost, kCostCap };
 
 /// Parsed form of an algorithm name such as "DRR2-TTL/S_K".
 struct PolicySpec {
@@ -22,6 +22,10 @@ struct PolicySpec {
   /// For kRRn: number of round-robin tiers (>= 3, or kPerDomainClasses for
   /// "RRK" — one pointer per domain). Unused otherwise.
   int selection_tiers = 0;
+  /// For kCost: weight of the load term in the composite objective.
+  double cost_alpha = 0.5;
+  /// For kCostCap: the latency budget (seconds) of the two-tier variant.
+  double cost_cap_sec = 0.08;
   /// 0 = constant reference TTL (no adaptive policy); otherwise the class
   /// count (1, 2, ..., or kPerDomainClasses for "K").
   int ttl_classes = 0;
@@ -37,6 +41,10 @@ struct PolicySpec {
 ///   "RR3".."RR9", "RRK", "WRR"               — extension baselines;
 ///   "GEO"                                    — proximity-first selection
 ///                                              (requires config.geo);
+///   "COST", "COST(0.7)"                      — composite load/latency cost,
+///                                              alpha in [0, 1] (default 0.5);
+///   "COSTCAP", "COSTCAP(0.08)"               — latency-capped two-tier cost,
+///                                              cap in seconds (default 0.08);
 ///   "PRR-TTL/1|2|K", "PRR2-TTL/1|2|K"        — probabilistic family;
 ///   "DRR-TTL/S_1|S_2|S_K", "DRR2-TTL/S_..."  — deterministic family;
 /// plus the free combinations used by ablations (any selection with any
@@ -48,6 +56,11 @@ PolicySpec parse_policy_name(const std::string& name);
 /// std::invalid_argument as parse_policy_name. Used by the parameter
 /// registry so every config entry point rejects bad names identically.
 void validate_policy_name(const std::string& name);
+
+/// True when `name`'s selection rule reads the GeoModel (GEO and the COST
+/// family) and therefore needs geography configured. Used by config
+/// cross-validation.
+bool policy_requires_geo(const std::string& name);
 
 /// The 15 algorithm names evaluated in the paper's figures
 /// (RR, RR2, DAL, 6 probabilistic, 6 deterministic).

@@ -51,9 +51,9 @@ web::ServerId ProximityPolicy::weighted_pick(std::vector<double>& credit,
   return best;
 }
 
-web::ServerId ProximityPolicy::select(web::DomainId domain,
-                                      const std::vector<bool>& eligible) {
-  const auto d = static_cast<std::size_t>(domain);
+web::ServerId ProximityPolicy::select(const DecisionContext& ctx) {
+  const std::vector<bool>& eligible = *ctx.eligible;
+  const auto d = static_cast<std::size_t>(ctx.domain);
   if (d >= near_mask_.size()) throw std::out_of_range("ProximityPolicy: unknown domain");
   // Prefer the domain's nearest servers...
   const web::ServerId local = weighted_pick(near_credit_[d], near_mask_[d], eligible);

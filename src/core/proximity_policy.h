@@ -23,7 +23,8 @@ class ProximityPolicy : public SelectionPolicy {
  public:
   ProximityPolicy(std::shared_ptr<const geo::GeoModel> geo, std::vector<double> capacities);
 
-  web::ServerId select(web::DomainId domain, const std::vector<bool>& eligible) override;
+  using SelectionPolicy::select;
+  web::ServerId select(const DecisionContext& ctx) override;
   std::vector<double> stationary_shares() const override;
   std::string name() const override { return "GEO"; }
 

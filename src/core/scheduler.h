@@ -31,8 +31,12 @@ struct Decision {
 /// term on).
 class DnsScheduler {
  public:
+  /// `geo` (optional) makes the scheduler latency-aware: it is handed to
+  /// every policy via DecisionContext and used to accumulate RTT-weighted
+  /// assignment accounting.
   DnsScheduler(std::string name, std::unique_ptr<SelectionPolicy> selection,
-               std::unique_ptr<TtlPolicy> ttl, const AlarmRegistry& alarms);
+               std::unique_ptr<TtlPolicy> ttl, const AlarmRegistry& alarms,
+               std::shared_ptr<const geo::GeoModel> geo = nullptr);
 
   /// Answers one address request from `domain`.
   Decision schedule(web::DomainId domain);
@@ -60,15 +64,25 @@ class DnsScheduler {
   /// Distribution of TTL values handed out.
   const sim::RunningStat& ttl_stat() const { return ttl_stat_; }
 
+  /// Sum of rtt(domain, server) over all decisions, and its per-server
+  /// breakdown — the scheduler-side latency objective (zero without geo).
+  double assignment_rtt_sum_sec() const { return assignment_rtt_sum_sec_; }
+  const std::vector<double>& per_server_assignment_rtt_sec() const {
+    return per_server_assignment_rtt_sec_;
+  }
+
  private:
   std::string name_;
   std::unique_ptr<SelectionPolicy> selection_;
   std::unique_ptr<TtlPolicy> ttl_;
   const AlarmRegistry& alarms_;
+  std::shared_ptr<const geo::GeoModel> geo_;
 
   std::uint64_t decisions_ = 0;
   std::vector<std::uint64_t> assignments_;
   sim::RunningStat ttl_stat_;
+  double assignment_rtt_sum_sec_ = 0.0;
+  std::vector<double> per_server_assignment_rtt_sec_;
   std::function<void(web::DomainId, const Decision&)> hook_;
 
   // Observability (unbound handles are pure no-ops; tracer/clock null

@@ -23,9 +23,8 @@ RoundRobinPolicy::RoundRobinPolicy(int num_servers) : num_servers_(num_servers) 
   if (num_servers <= 0) throw std::invalid_argument("RR: need >= 1 server");
 }
 
-web::ServerId RoundRobinPolicy::select(web::DomainId /*domain*/,
-                                       const std::vector<bool>& eligible) {
-  last_ = next_eligible(num_servers_, last_, eligible);
+web::ServerId RoundRobinPolicy::select(const DecisionContext& ctx) {
+  last_ = next_eligible(num_servers_, last_, *ctx.eligible);
   return last_;
 }
 
@@ -40,10 +39,9 @@ TwoTierRoundRobinPolicy::TwoTierRoundRobinPolicy(int num_servers, const DomainMo
   if (num_servers <= 0) throw std::invalid_argument("RR2: need >= 1 server");
 }
 
-web::ServerId TwoTierRoundRobinPolicy::select(web::DomainId domain,
-                                              const std::vector<bool>& eligible) {
-  int& last = domains_.is_hot(domain) ? last_hot_ : last_normal_;
-  last = next_eligible(num_servers_, last, eligible);
+web::ServerId TwoTierRoundRobinPolicy::select(const DecisionContext& ctx) {
+  int& last = domains_.is_hot(ctx.domain) ? last_hot_ : last_normal_;
+  last = next_eligible(num_servers_, last, *ctx.eligible);
   return last;
 }
 
@@ -63,16 +61,15 @@ MultiTierRoundRobinPolicy::MultiTierRoundRobinPolicy(int num_servers,
   }
 }
 
-web::ServerId MultiTierRoundRobinPolicy::select(web::DomainId domain,
-                                                const std::vector<bool>& eligible) {
+web::ServerId MultiTierRoundRobinPolicy::select(const DecisionContext& ctx) {
   // Re-derive the class each time: the partition tracks live weight updates.
   const std::vector<int> cls = domains_.partition(num_tiers_);
-  const int tier = cls.at(static_cast<std::size_t>(domain));
+  const int tier = cls.at(static_cast<std::size_t>(ctx.domain));
   if (static_cast<std::size_t>(tier) >= last_.size()) {
     last_.resize(static_cast<std::size_t>(tier) + 1, -1);
   }
   int& last = last_[static_cast<std::size_t>(tier)];
-  last = next_eligible(num_servers_, last, eligible);
+  last = next_eligible(num_servers_, last, *ctx.eligible);
   return last;
 }
 
@@ -96,8 +93,8 @@ WeightedRoundRobinPolicy::WeightedRoundRobinPolicy(std::vector<double> weights)
   }
 }
 
-web::ServerId WeightedRoundRobinPolicy::select(web::DomainId /*domain*/,
-                                               const std::vector<bool>& eligible) {
+web::ServerId WeightedRoundRobinPolicy::select(const DecisionContext& ctx) {
+  const std::vector<bool>& eligible = *ctx.eligible;
   int best = -1;
   for (std::size_t i = 0; i < weights_.size(); ++i) {
     credit_[i] += weights_[i];
@@ -146,9 +143,8 @@ web::ServerId ProbabilisticRoundRobinPolicy::advance(int& last,
   return last;
 }
 
-web::ServerId ProbabilisticRoundRobinPolicy::select(web::DomainId /*domain*/,
-                                                    const std::vector<bool>& eligible) {
-  return advance(last_, eligible);
+web::ServerId ProbabilisticRoundRobinPolicy::select(const DecisionContext& ctx) {
+  return advance(last_, *ctx.eligible);
 }
 
 std::vector<double> ProbabilisticRoundRobinPolicy::stationary_shares() const {
@@ -168,10 +164,9 @@ ProbabilisticTwoTierPolicy::ProbabilisticTwoTierPolicy(std::vector<double> relat
                                                        sim::RngStream rng)
     : inner_(std::move(relative_capacities), rng), domains_(domains) {}
 
-web::ServerId ProbabilisticTwoTierPolicy::select(web::DomainId domain,
-                                                 const std::vector<bool>& eligible) {
-  int& last = domains_.is_hot(domain) ? last_hot_ : last_normal_;
-  return inner_.advance(last, eligible);
+web::ServerId ProbabilisticTwoTierPolicy::select(const DecisionContext& ctx) {
+  int& last = domains_.is_hot(ctx.domain) ? last_hot_ : last_normal_;
+  return inner_.advance(last, *ctx.eligible);
 }
 
 std::vector<double> ProbabilisticTwoTierPolicy::stationary_shares() const {

@@ -14,7 +14,8 @@ class RoundRobinPolicy : public SelectionPolicy {
  public:
   explicit RoundRobinPolicy(int num_servers);
 
-  web::ServerId select(web::DomainId domain, const std::vector<bool>& eligible) override;
+  using SelectionPolicy::select;
+  web::ServerId select(const DecisionContext& ctx) override;
   std::vector<double> stationary_shares() const override;
   std::string name() const override { return "RR"; }
 
@@ -31,7 +32,8 @@ class TwoTierRoundRobinPolicy : public SelectionPolicy {
  public:
   TwoTierRoundRobinPolicy(int num_servers, const DomainModel& domains);
 
-  web::ServerId select(web::DomainId domain, const std::vector<bool>& eligible) override;
+  using SelectionPolicy::select;
+  web::ServerId select(const DecisionContext& ctx) override;
   std::vector<double> stationary_shares() const override;
   std::string name() const override { return "RR2"; }
 
@@ -53,7 +55,8 @@ class MultiTierRoundRobinPolicy : public SelectionPolicy {
  public:
   MultiTierRoundRobinPolicy(int num_servers, const DomainModel& domains, int num_tiers);
 
-  web::ServerId select(web::DomainId domain, const std::vector<bool>& eligible) override;
+  using SelectionPolicy::select;
+  web::ServerId select(const DecisionContext& ctx) override;
   std::vector<double> stationary_shares() const override;
   std::string name() const override;
 
@@ -75,7 +78,8 @@ class WeightedRoundRobinPolicy : public SelectionPolicy {
  public:
   explicit WeightedRoundRobinPolicy(std::vector<double> weights);
 
-  web::ServerId select(web::DomainId domain, const std::vector<bool>& eligible) override;
+  using SelectionPolicy::select;
+  web::ServerId select(const DecisionContext& ctx) override;
   std::vector<double> stationary_shares() const override;
   std::string name() const override { return "WRR"; }
 
@@ -94,7 +98,8 @@ class ProbabilisticRoundRobinPolicy : public SelectionPolicy {
  public:
   ProbabilisticRoundRobinPolicy(std::vector<double> relative_capacities, sim::RngStream rng);
 
-  web::ServerId select(web::DomainId domain, const std::vector<bool>& eligible) override;
+  using SelectionPolicy::select;
+  web::ServerId select(const DecisionContext& ctx) override;
   std::vector<double> stationary_shares() const override;
   std::string name() const override { return "PRR"; }
 
@@ -114,7 +119,8 @@ class ProbabilisticTwoTierPolicy : public SelectionPolicy {
   ProbabilisticTwoTierPolicy(std::vector<double> relative_capacities, const DomainModel& domains,
                              sim::RngStream rng);
 
-  web::ServerId select(web::DomainId domain, const std::vector<bool>& eligible) override;
+  using SelectionPolicy::select;
+  web::ServerId select(const DecisionContext& ctx) override;
   std::vector<double> stationary_shares() const override;
   std::string name() const override { return "PRR2"; }
 

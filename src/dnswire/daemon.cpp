@@ -44,6 +44,9 @@ void validate(const DaemonConfig& cfg) {
   if (!cfg.capacities.empty() && cfg.capacities.size() != cfg.server_ipv4.size()) {
     throw std::invalid_argument("DaemonConfig: capacities must match server count");
   }
+  if (!cfg.server_ipv6.empty() && cfg.server_ipv6.size() != cfg.server_ipv4.size()) {
+    throw std::invalid_argument("DaemonConfig: server_ipv6 must match server count");
+  }
   // Shard cores are built inside their worker threads, where a throw
   // would terminate; reject a bad policy name up front instead.
   core::validate_policy_name(cfg.policy);
@@ -73,7 +76,7 @@ ShardCore::ShardCore(const DaemonConfig& cfg, int shard_index)
   fc.class_threshold = 1.0 / cfg.num_domains;
   bundle_ = core::make_scheduler(cfg.policy, fc, alarms_, simulator_, rng_);
   frontend_ = std::make_unique<DnsFrontend>(*bundle_.scheduler, cfg.site_name,
-                                            cfg.server_ipv4);
+                                            cfg.server_ipv4, cfg.server_ipv6);
   scratch_.reserve(kMaxDatagram);
 }
 

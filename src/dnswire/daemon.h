@@ -18,6 +18,9 @@ namespace adattl::dnswire {
 struct DaemonConfig {
   std::string site_name = "www.site.org";
   std::vector<std::uint32_t> server_ipv4;  ///< host byte order, index == ServerId
+  /// Optional native IPv6 addresses (wire order, index == ServerId) for
+  /// AAAA answers. Empty = answer AAAA with v4-mapped ::ffff:a.b.c.d.
+  std::vector<Ipv6> server_ipv6;
   /// Absolute server capacities C_i, index == ServerId. Empty = all equal
   /// (the scheduler only uses ratios). Size must match server_ipv4 if set.
   std::vector<double> capacities;

@@ -6,11 +6,19 @@
 namespace adattl::dnswire {
 
 DnsFrontend::DnsFrontend(core::DnsScheduler& scheduler, std::string site_name,
-                         std::vector<std::uint32_t> server_ipv4)
+                         std::vector<std::uint32_t> server_ipv4,
+                         std::vector<Ipv6> server_ipv6)
     : scheduler_(scheduler), site_name_(std::move(site_name)),
-      server_ipv4_(std::move(server_ipv4)) {
+      server_ipv4_(std::move(server_ipv4)), server_ipv6_(std::move(server_ipv6)) {
   if (site_name_.empty()) throw std::invalid_argument("DnsFrontend: empty site name");
   if (server_ipv4_.empty()) throw std::invalid_argument("DnsFrontend: no server addresses");
+  if (server_ipv6_.empty()) {
+    // Dual-stack without native v6: AAAA answers carry the v4-mapped form.
+    server_ipv6_.reserve(server_ipv4_.size());
+    for (std::uint32_t v4 : server_ipv4_) server_ipv6_.push_back(v4_mapped_ipv6(v4));
+  } else if (server_ipv6_.size() != server_ipv4_.size()) {
+    throw std::invalid_argument("DnsFrontend: server_ipv6 size must match server_ipv4");
+  }
   for (char& c : site_name_) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
   // Every answer echoes this name (positive answers anchor their A record
   // on it), so a name the wire format cannot express would turn each
@@ -50,7 +58,8 @@ std::vector<std::uint8_t> DnsFrontend::handle(const std::vector<std::uint8_t>& q
     ++errors_;
     return encode_a_response(header, question, 0, 0, kRcodeFormErr);
   }
-  if (question.qtype != kTypeA || question.qclass != kClassIn) {
+  if ((question.qtype != kTypeA && question.qtype != kTypeAaaa) ||
+      question.qclass != kClassIn) {
     ++errors_;
     return encode_a_response(header, question, 0, 0, kRcodeNotImp);
   }
@@ -76,6 +85,9 @@ std::vector<std::uint8_t> DnsFrontend::handle(const std::vector<std::uint8_t>& q
   ++answered_;
   // DNS TTLs are integral seconds; never round an adaptive TTL down to 0.
   const auto ttl = static_cast<std::uint32_t>(decision.ttl_sec < 1.0 ? 1.0 : decision.ttl_sec);
+  if (question.qtype == kTypeAaaa) {
+    return encode_aaaa_response(header, question, server_ipv6_[server], ttl);
+  }
   return encode_a_response(header, question, server_ipv4_[server], ttl);
 }
 

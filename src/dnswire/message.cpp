@@ -152,9 +152,16 @@ bool decode_query(const std::vector<std::uint8_t>& wire, Header* header, Questio
   return true;
 }
 
-std::vector<std::uint8_t> encode_a_response(const Header& query_header,
-                                            const Question& question, std::uint32_t ipv4,
-                                            std::uint32_t ttl_sec, std::uint8_t rcode) {
+namespace {
+
+/// Shared body of encode_a_response / encode_aaaa_response: one address
+/// record of `rr_type` whose rdata is `rdata[0..rdata_len)`.
+std::vector<std::uint8_t> encode_address_response(const Header& query_header,
+                                                  const Question& question,
+                                                  std::uint16_t rr_type,
+                                                  const std::uint8_t* rdata,
+                                                  std::uint16_t rdata_len,
+                                                  std::uint32_t ttl_sec, std::uint8_t rcode) {
   Header h;
   h.id = query_header.id;
   h.qr = true;
@@ -189,16 +196,19 @@ std::vector<std::uint8_t> encode_a_response(const Header& query_header,
   // Answer: pointer to the question name at offset 12 (0xc00c).
   out.push_back(0xc0);
   out.push_back(0x0c);
-  put16(&out, kTypeA);
+  put16(&out, rr_type);
   put16(&out, kClassIn);
   put32(&out, ttl_sec);
-  put16(&out, 4);  // rdlength
-  put32(&out, ipv4);
+  put16(&out, rdata_len);
+  out.insert(out.end(), rdata, rdata + rdata_len);
   return out;
 }
 
-bool decode_a_response(const std::vector<std::uint8_t>& wire, Header* header,
-                       std::uint32_t* ipv4, std::uint32_t* ttl_sec) {
+/// Shared body of decode_a_response / decode_aaaa_response: expects one
+/// answer of `rr_type` with exactly `rdata_len` rdata bytes.
+bool decode_address_response(const std::vector<std::uint8_t>& wire, Header* header,
+                             std::uint16_t rr_type, std::uint8_t* rdata,
+                             std::uint16_t rdata_len, std::uint32_t* ttl_sec) {
   std::size_t pos = 0;
   if (!decode_header(wire.data(), wire.size(), &pos, header)) return false;
   // Skip the echoed question(s).
@@ -222,8 +232,58 @@ bool decode_a_response(const std::vector<std::uint8_t>& wire, Header* header,
       !get16(wire.data(), wire.size(), &pos, &rdlength)) {
     return false;
   }
-  if (type != kTypeA || rdlength != 4) return false;
-  return get32(wire.data(), wire.size(), &pos, ipv4);
+  if (type != rr_type || rdlength != rdata_len) return false;
+  if (pos + rdata_len > wire.size()) return false;
+  for (std::uint16_t i = 0; i < rdata_len; ++i) rdata[i] = wire[pos + i];
+  return true;
+}
+
+}  // namespace
+
+Ipv6 v4_mapped_ipv6(std::uint32_t ipv4) {
+  Ipv6 out{};  // ::ffff:a.b.c.d — bytes 0..9 zero, 10..11 0xff, 12..15 the v4
+  out[10] = 0xff;
+  out[11] = 0xff;
+  out[12] = static_cast<std::uint8_t>(ipv4 >> 24);
+  out[13] = static_cast<std::uint8_t>(ipv4 >> 16);
+  out[14] = static_cast<std::uint8_t>(ipv4 >> 8);
+  out[15] = static_cast<std::uint8_t>(ipv4);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_a_response(const Header& query_header,
+                                            const Question& question, std::uint32_t ipv4,
+                                            std::uint32_t ttl_sec, std::uint8_t rcode) {
+  std::uint8_t rdata[4] = {static_cast<std::uint8_t>(ipv4 >> 24),
+                           static_cast<std::uint8_t>(ipv4 >> 16),
+                           static_cast<std::uint8_t>(ipv4 >> 8),
+                           static_cast<std::uint8_t>(ipv4)};
+  return encode_address_response(query_header, question, kTypeA, rdata, 4, ttl_sec, rcode);
+}
+
+std::vector<std::uint8_t> encode_aaaa_response(const Header& query_header,
+                                               const Question& question, const Ipv6& ipv6,
+                                               std::uint32_t ttl_sec, std::uint8_t rcode) {
+  return encode_address_response(query_header, question, kTypeAaaa, ipv6.data(),
+                                 static_cast<std::uint16_t>(ipv6.size()), ttl_sec, rcode);
+}
+
+bool decode_a_response(const std::vector<std::uint8_t>& wire, Header* header,
+                       std::uint32_t* ipv4, std::uint32_t* ttl_sec) {
+  std::uint8_t rdata[4] = {0, 0, 0, 0};
+  if (!decode_address_response(wire, header, kTypeA, rdata, 4, ttl_sec)) return false;
+  if (header->ancount != 0) {
+    *ipv4 = (static_cast<std::uint32_t>(rdata[0]) << 24) |
+            (static_cast<std::uint32_t>(rdata[1]) << 16) |
+            (static_cast<std::uint32_t>(rdata[2]) << 8) | rdata[3];
+  }
+  return true;
+}
+
+bool decode_aaaa_response(const std::vector<std::uint8_t>& wire, Header* header, Ipv6* ipv6,
+                          std::uint32_t* ttl_sec) {
+  return decode_address_response(wire, header, kTypeAaaa, ipv6->data(),
+                                 static_cast<std::uint16_t>(ipv6->size()), ttl_sec);
 }
 
 }  // namespace adattl::dnswire

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -40,7 +41,15 @@ struct Question {
 };
 
 inline constexpr std::uint16_t kTypeA = 1;
+inline constexpr std::uint16_t kTypeAaaa = 28;
 inline constexpr std::uint16_t kClassIn = 1;
+
+/// IPv6 address in wire order (16 bytes, network byte order).
+using Ipv6 = std::array<std::uint8_t, 16>;
+
+/// The IPv4-mapped IPv6 address ::ffff:a.b.c.d for `ipv4` (host byte
+/// order) — the standard dual-stack answer for a site without native v6.
+Ipv6 v4_mapped_ipv6(std::uint32_t ipv4);
 
 inline constexpr std::uint8_t kRcodeNoError = 0;
 inline constexpr std::uint8_t kRcodeFormErr = 1;
@@ -90,5 +99,17 @@ std::vector<std::uint8_t> encode_a_response(const Header& query_header,
 /// malformed input.
 bool decode_a_response(const std::vector<std::uint8_t>& wire, Header* header,
                        std::uint32_t* ipv4, std::uint32_t* ttl_sec);
+
+/// AAAA counterpart of encode_a_response: one quad-A record (rdlength 16)
+/// with the same question-echo / error-rcode semantics.
+std::vector<std::uint8_t> encode_aaaa_response(const Header& query_header,
+                                               const Question& question, const Ipv6& ipv6,
+                                               std::uint32_t ttl_sec,
+                                               std::uint8_t rcode = kRcodeNoError);
+
+/// Parses a response built by encode_aaaa_response. Returns false on
+/// malformed input or when the answer is not a 16-byte AAAA record.
+bool decode_aaaa_response(const std::vector<std::uint8_t>& wire, Header* header, Ipv6* ipv6,
+                          std::uint32_t* ttl_sec);
 
 }  // namespace adattl::dnswire

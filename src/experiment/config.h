@@ -109,6 +109,19 @@ struct SimulationConfig {
   double geo_intra_rtt_sec = 0.02;
   double geo_inter_rtt_sec = 0.15;
 
+  // ---- Elastic pool / autoscaling (extension) ----
+  /// Watermark autoscaler on the monitor tick: sustained mean in-pool
+  /// utilization above/below the watermarks adds/parks one server per
+  /// action (see core::Autoscaler). Scripted scale-up/scale-down/resize
+  /// fault directives work independently of this switch.
+  bool autoscale_enabled = false;
+  double autoscale_high_watermark = 0.75;
+  double autoscale_low_watermark = 0.30;
+  /// Consecutive out-of-band monitor ticks required before an action.
+  int autoscale_hysteresis_ticks = 3;
+  /// Scale-down floor: the pool never shrinks below this many servers.
+  int autoscale_min_servers = 1;
+
   // ---- Hidden-load estimation ----
   /// true: DNS knows the (unperturbed) weights exactly — the paper's
   /// controlled setting. false: weights come from the online EWMA

@@ -192,8 +192,18 @@ void cross_validate(const SimulationConfig& c) {
   if (c.geo_regions > 0 && (c.geo_intra_rtt_sec < 0 || c.geo_inter_rtt_sec < c.geo_intra_rtt_sec)) {
     bad("config: need 0 <= intra <= inter RTT");
   }
-  if (c.policy.rfind("GEO", 0) == 0 && c.geo_regions == 0) {
-    bad("config: the GEO policy needs geo_regions > 0");
+  if (core::policy_requires_geo(c.policy) && c.geo_regions == 0) {
+    bad("config: the GEO/COST/COSTCAP policies need geo_regions > 0");
+  }
+  if (c.autoscale_enabled) {
+    if (!(c.autoscale_low_watermark >= 0.0 &&
+          c.autoscale_low_watermark < c.autoscale_high_watermark &&
+          c.autoscale_high_watermark <= 1.0)) {
+      bad("config: need 0 <= autoscale-low < autoscale-high <= 1");
+    }
+    if (c.autoscale_min_servers > c.cluster.size()) {
+      bad("config: autoscale-min exceeds the cluster size");
+    }
   }
   if (c.trace_enabled && c.trace_capacity < 1) {
     bad("config: trace capacity >= 1 when tracing");
@@ -353,7 +363,9 @@ ParamRegistry::ParamRegistry() {
     s.kind = ParamKind::kString;
     s.group = "algorithm";
     s.hint = "NAME";
-    s.doc = "scheduling algorithm (RR, RR2, DAL, MRL, PRR[2]-TTL/..., DRR[2]-TTL/S_..., GEO)";
+    s.doc =
+        "scheduling algorithm (RR, RR2, DAL, MRL, PRR[2]-TTL/..., DRR[2]-TTL/S_..., GEO, "
+        "COST(ALPHA), COSTCAP(SEC))";
     s.set = [](C& o, const std::string& v) { o.config.policy = v; };
     s.get = [](const C& o) { return o.config.policy; };
     s.check = [](const C& o) {
@@ -482,6 +494,30 @@ ParamRegistry::ParamRegistry() {
           check_cfg([](const S& c) { return c.geo_regions >= 0; }, "config: geo regions >= 0"));
   dbl("geo-intra", "geography", "SEC", "intra-region round-trip time", &S::geo_intra_rtt_sec);
   dbl("geo-inter", "geography", "SEC", "inter-region round-trip time", &S::geo_inter_rtt_sec);
+
+  // ---- elasticity ----
+  boolean("autoscale", "elasticity",
+          "watermark autoscaler: sustained mean in-pool utilization beyond the "
+          "watermarks adds/parks one server per action",
+          &S::autoscale_enabled);
+  dbl("autoscale-high", "elasticity", "U", "scale-up watermark (mean in-pool utilization)",
+      &S::autoscale_high_watermark,
+      check_cfg([](const S& c) {
+        return c.autoscale_high_watermark > 0 && c.autoscale_high_watermark <= 1;
+      }, "config: autoscale-high must lie in (0, 1]"));
+  dbl("autoscale-low", "elasticity", "U", "scale-down watermark (mean in-pool utilization)",
+      &S::autoscale_low_watermark,
+      check_cfg([](const S& c) { return c.autoscale_low_watermark >= 0; },
+                "config: autoscale-low must be >= 0"));
+  integer("autoscale-ticks", "elasticity", "N",
+          "consecutive out-of-band monitor ticks before an autoscale action",
+          &S::autoscale_hysteresis_ticks,
+          check_cfg([](const S& c) { return c.autoscale_hysteresis_ticks >= 1; },
+                    "config: autoscale-ticks must be >= 1"));
+  integer("autoscale-min", "elasticity", "N", "scale-down floor for the DNS pool size",
+          &S::autoscale_min_servers,
+          check_cfg([](const S& c) { return c.autoscale_min_servers >= 1; },
+                    "config: autoscale-min must be >= 1"));
 
   // ---- redirection ----
   // `redirect` registers after its scalar companions on purpose: the
@@ -669,6 +705,40 @@ ParamRegistry::ParamRegistry() {
       &fault::FaultSchedule::parse_dns_outage, &fault::FaultSchedule::dns_outages,
       [](const fault::DnsOutageWindow& w) {
         return fmt_double(w.start_sec) + ":" + fmt_double(w.duration_sec);
+      });
+  // Elastic pool directives. scale-up and scale-down share the schedule's
+  // scale_events vector, so their specs filter by direction instead of
+  // using the fault_windows helper (which would dump every event twice).
+  auto scale_directive = [&](const char* name, bool up, const char* doc) {
+    ParamSpec s;
+    s.name = name;
+    s.kind = ParamKind::kSpecList;
+    s.group = "faults";
+    s.hint = "START:SERVER";
+    s.doc = doc;
+    s.repeatable = true;
+    s.set = [up](C& o, const std::string& v) {
+      o.config.faults.scale_events.push_back(fault::FaultSchedule::parse_scale(v, up));
+    };
+    s.get_list = [up](const C& o) {
+      std::vector<std::string> out;
+      for (const fault::ScaleEvent& e : o.config.faults.scale_events) {
+        if (e.up == up) out.push_back(fmt_double(e.start_sec) + ":" + fmt_int(e.server));
+      }
+      return out;
+    };
+    add(std::move(s));
+  };
+  scale_directive("scale-up", true,
+                  "admit the server to the DNS pool (elastic membership, not a repair)");
+  scale_directive("scale-down", false,
+                  "remove the server from the DNS pool; it drains, losing nothing");
+  fault_windows(
+      "resize", "START:SERVER:FACTOR",
+      "open-ended re-provision: capacity scaled to FACTOR x nominal until the next resize",
+      &fault::FaultSchedule::parse_resize, &fault::FaultSchedule::resizes,
+      [](const fault::ResizeEvent& e) {
+        return fmt_double(e.start_sec) + ":" + fmt_int(e.server) + ":" + fmt_double(e.factor);
       });
   dbl("retry-delay", "faults", "SEC", "client pause before retrying a failed page/resolution",
       &S::client_retry_delay_sec,

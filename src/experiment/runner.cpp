@@ -277,6 +277,20 @@ std::string to_json(const SimulationConfig& config, const ReplicatedResult& resu
             result.ci([](const RunResult& r) { return r.response_p99_sec; }).mean);
   append_kv(out, "mean_network_rtt_sec",
             result.ci([](const RunResult& r) { return r.mean_network_rtt_sec; }).mean);
+  append_kv(out, "mean_assignment_rtt_sec",
+            result.ci([](const RunResult& r) { return r.mean_assignment_rtt_sec; }).mean);
+  append_kv(out, "pool_changes",
+            result.ci([](const RunResult& r) { return static_cast<double>(r.pool_changes); })
+                .mean);
+  append_kv(out, "autoscale_ups",
+            result.ci([](const RunResult& r) { return static_cast<double>(r.autoscale_ups); })
+                .mean);
+  append_kv(out, "autoscale_downs",
+            result.ci([](const RunResult& r) { return static_cast<double>(r.autoscale_downs); })
+                .mean);
+  append_kv(out, "final_pool_size",
+            result.ci([](const RunResult& r) { return static_cast<double>(r.final_pool_size); })
+                .mean);
   append_kv(out, "failed_requests",
             result.ci([](const RunResult& r) { return static_cast<double>(r.failed_requests); })
                 .mean);
@@ -300,6 +314,33 @@ std::string to_json(const SimulationConfig& config, const ReplicatedResult& resu
     }
   }
   out += "]";
+  // Latency-as-a-result arrays (first replication, like the array above):
+  // empty without a geo model / absent without domains, so latency-free
+  // runs keep their historical schema plus two cheap keys.
+  if (!result.runs.empty()) {
+    const RunResult& first = result.runs.front();
+    out += ",\"rtt_weighted_assignment_share\":[";
+    for (std::size_t s = 0; s < first.rtt_weighted_assignment_share.size(); ++s) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g%s", first.rtt_weighted_assignment_share[s],
+                    s + 1 < first.rtt_weighted_assignment_share.size() ? "," : "");
+      out += buf;
+    }
+    out += "]";
+    out += ",\"domain_latency\":[";
+    for (std::size_t d = 0; d < first.domain_latency.size(); ++d) {
+      const RunResult::DomainLatency& dl = first.domain_latency[d];
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"p50_sec\":%.6g,\"p95_sec\":%.6g,\"p99_sec\":%.6g,"
+                    "\"mean_sec\":%.6g,\"pages\":%llu}%s",
+                    dl.p50_sec, dl.p95_sec, dl.p99_sec, dl.mean_sec,
+                    static_cast<unsigned long long>(dl.pages),
+                    d + 1 < first.domain_latency.size() ? "," : "");
+      out += buf;
+    }
+    out += "]";
+  }
   // Fully resolved knob values and their provenance, straight from the
   // parameter registry — the machine-readable "exactly what ran" record.
   {

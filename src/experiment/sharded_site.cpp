@@ -101,6 +101,14 @@ ShardedSite::ShardedSite(const SimulationConfig& config)
         shard->cluster->size(), config_.alarm_threshold, config_.alarm_enabled,
         config_.alarm_queue_threshold);
     shard->fault->set_alarm_registry(shard->alarms.get());
+    if (config_.autoscale_enabled) {
+      core::Autoscaler::Config ac;
+      ac.high_watermark = config_.autoscale_high_watermark;
+      ac.low_watermark = config_.autoscale_low_watermark;
+      ac.hysteresis_ticks = config_.autoscale_hysteresis_ticks;
+      ac.min_servers = config_.autoscale_min_servers;
+      shard->autoscaler = std::make_unique<core::Autoscaler>(*shard->alarms, ac);
+    }
 
     core::SchedulerFactoryConfig fc;
     fc.capacities = shard->cluster->capacities();
@@ -203,9 +211,12 @@ void ShardedSite::monitor_tick(double now) {
   for (double& u : util) u = std::min(u, 1.0);
 
   // Every shard's alarm registry sees the same merged site view, so all
-  // scheduler replicas agree on which servers are alarmed.
+  // scheduler replicas agree on which servers are alarmed. The autoscaler
+  // replicas observe the same view right after their registry, so every
+  // shard reaches the same pool decision at the same tick.
   for (const auto& shard : shards_) {
     shard->alarms->observe_full(now, util, queues);
+    if (shard->autoscaler) shard->autoscaler->observe(util);
   }
   tracker_->observe(now, util);
 
@@ -341,6 +352,56 @@ RunResult ShardedSite::aggregate(double horizon) {
   r.response_p50_sec = site_response.quantile(0.50);
   r.response_p95_sec = site_response.quantile(0.95);
   r.response_p99_sec = site_response.quantile(0.99);
+
+  // ---- Latency as a first-class result (summed across the split
+  // per-shard decision streams) ----
+  if (geo_) {
+    std::uint64_t decisions = 0;
+    double rtt_total = 0.0;
+    std::vector<double> per_server(cap.size(), 0.0);
+    for (const auto& shard : shards_) {
+      decisions += shard->bundle.scheduler->decisions();
+      rtt_total += shard->bundle.scheduler->assignment_rtt_sum_sec();
+      const std::vector<double>& part =
+          shard->bundle.scheduler->per_server_assignment_rtt_sec();
+      for (std::size_t i = 0; i < per_server.size(); ++i) per_server[i] += part[i];
+    }
+    if (decisions > 0) {
+      r.mean_assignment_rtt_sec = rtt_total / static_cast<double>(decisions);
+      r.rtt_weighted_assignment_share.resize(per_server.size(), 0.0);
+      if (rtt_total > 0.0) {
+        for (std::size_t i = 0; i < per_server.size(); ++i) {
+          r.rtt_weighted_assignment_share[i] = per_server[i] / rtt_total;
+        }
+      }
+    }
+  }
+  // Every domain's clients live in exactly one shard (round-robin layout),
+  // so each per-domain histogram comes from its owning shard verbatim.
+  const int num_shards = static_cast<int>(shards_.size());
+  r.domain_latency.reserve(static_cast<std::size_t>(config_.num_domains));
+  for (int d = 0; d < config_.num_domains; ++d) {
+    const sim::Histogram& h =
+        shards_[static_cast<std::size_t>(d % num_shards)]->clients
+            ->domain_response_histogram(d);
+    RunResult::DomainLatency dl;
+    dl.pages = h.count();
+    if (dl.pages > 0) {
+      dl.p50_sec = h.quantile(0.50);
+      dl.p95_sec = h.quantile(0.95);
+      dl.p99_sec = h.quantile(0.99);
+      dl.mean_sec = h.mean();
+    }
+    r.domain_latency.push_back(dl);
+  }
+
+  // ---- Elastic pool accounting: all replicas agree; report shard 0's ----
+  r.pool_changes = shards_.front()->alarms->pool_changes();
+  r.final_pool_size = shards_.front()->alarms->pool_size();
+  if (shards_.front()->autoscaler) {
+    r.autoscale_ups = shards_.front()->autoscaler->scale_up_actions();
+    r.autoscale_downs = shards_.front()->autoscaler->scale_down_actions();
+  }
 
   r.mean_ttl = ttl_stat.mean();
   // All alarm registries saw identical merged data; report shard 0's.

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/alarm_registry.h"
+#include "core/autoscaler.h"
 #include "core/load_estimator.h"
 #include "core/policy_factory.h"
 #include "dnscache/client_cache.h"
@@ -67,6 +68,10 @@ class ShardedSite {
     std::unique_ptr<fault::FaultInjector> fault;
     std::unique_ptr<web::PageDispatcher> dispatcher;
     std::unique_ptr<core::AlarmRegistry> alarms;
+    /// Per-shard autoscaler replica (null unless autoscale_enabled). Every
+    /// replica observes the same merged utilization view in the same
+    /// order, so all shards take identical pool actions at every tick.
+    std::unique_ptr<core::Autoscaler> autoscaler;
     core::SchedulerBundle bundle;
     std::unique_ptr<core::LoadEstimator> estimator;
     /// NS replicas of owned domain k live at [k*ns_per_domain, ...).

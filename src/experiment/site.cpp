@@ -89,6 +89,14 @@ Site::Site(const SimulationConfig& config)
   // Crash events mark servers down in the registry (hard health facts,
   // independent of the utilization alarms — works even with --no-alarm).
   fault_injector_->set_alarm_registry(alarms_.get());
+  if (config_.autoscale_enabled) {
+    core::Autoscaler::Config ac;
+    ac.high_watermark = config_.autoscale_high_watermark;
+    ac.low_watermark = config_.autoscale_low_watermark;
+    ac.hysteresis_ticks = config_.autoscale_hysteresis_ticks;
+    ac.min_servers = config_.autoscale_min_servers;
+    autoscaler_ = std::make_unique<core::Autoscaler>(*alarms_, ac);
+  }
   core::SchedulerFactoryConfig fc;
   fc.capacities = cluster_->capacities();
   fc.initial_weights =
@@ -179,6 +187,7 @@ Site::Site(const SimulationConfig& config)
   monitor_->add_full_observer([this](sim::SimTime now, const std::vector<double>& util,
                                      const std::vector<std::size_t>& queues) {
     alarms_->observe_full(now, util, queues);
+    if (autoscaler_) autoscaler_->observe(util);
     tracker_->observe(now, util);
     if (!config_.oracle_weights && ++ticks_ % config_.estimator_collect_every_ticks == 0) {
       collect_estimator_window(config_.monitor_interval_sec *
@@ -282,6 +291,34 @@ RunResult Site::run() {
   r.response_p95_sec = site_response.quantile(0.95);
   r.response_p99_sec = site_response.quantile(0.99);
 
+  // ---- Latency as a first-class result ----
+  const std::uint64_t decisions = bundle_.scheduler->decisions();
+  if (geo_ && decisions > 0) {
+    r.mean_assignment_rtt_sec =
+        bundle_.scheduler->assignment_rtt_sum_sec() / static_cast<double>(decisions);
+    const std::vector<double>& per_server = bundle_.scheduler->per_server_assignment_rtt_sec();
+    const double rtt_total = bundle_.scheduler->assignment_rtt_sum_sec();
+    r.rtt_weighted_assignment_share.resize(per_server.size(), 0.0);
+    if (rtt_total > 0.0) {
+      for (std::size_t i = 0; i < per_server.size(); ++i) {
+        r.rtt_weighted_assignment_share[i] = per_server[i] / rtt_total;
+      }
+    }
+  }
+  r.domain_latency.reserve(static_cast<std::size_t>(config_.num_domains));
+  for (int d = 0; d < config_.num_domains; ++d) {
+    const sim::Histogram& h = clients_->domain_response_histogram(d);
+    RunResult::DomainLatency dl;
+    dl.pages = h.count();
+    if (dl.pages > 0) {
+      dl.p50_sec = h.quantile(0.50);
+      dl.p95_sec = h.quantile(0.95);
+      dl.p99_sec = h.quantile(0.99);
+      dl.mean_sec = h.mean();
+    }
+    r.domain_latency.push_back(dl);
+  }
+
   if (const auto* redirecting =
           dynamic_cast<const web::RedirectingDispatcher*>(dispatcher_.get())) {
     r.redirected_pages = redirecting->redirects();
@@ -294,6 +331,14 @@ RunResult Site::run() {
   r.mean_ttl = bundle_.scheduler->ttl_stat().mean();
   r.alarm_signals = alarms_->alarm_signals() + alarms_->normal_signals();
   r.events_dispatched = sim_.events_dispatched();
+
+  // ---- Elastic pool accounting ----
+  r.pool_changes = alarms_->pool_changes();
+  r.final_pool_size = alarms_->pool_size();
+  if (autoscaler_) {
+    r.autoscale_ups = autoscaler_->scale_up_actions();
+    r.autoscale_downs = autoscaler_->scale_down_actions();
+  }
 
   // ---- Failure accounting ----
   r.lost_pages = cluster_->total_lost_pages();
@@ -316,6 +361,10 @@ RunResult Site::run() {
     metrics_registry_->gauge("kernel.live_events_at_end")
         .set(static_cast<double>(sim_.pending()));
     metrics_registry_->gauge("dns.outage_sec").set(r.dns_outage_sec);
+    metrics_registry_->gauge("latency.mean_assignment_rtt_sec").set(r.mean_assignment_rtt_sec);
+    metrics_registry_->gauge("latency.mean_network_rtt_sec").set(r.mean_network_rtt_sec);
+    metrics_registry_->gauge("pool.final_size").set(static_cast<double>(r.final_pool_size));
+    metrics_registry_->gauge("pool.changes").set(static_cast<double>(r.pool_changes));
     r.metrics = std::make_shared<const obs::MetricsSnapshot>(metrics_registry_->snapshot());
   }
 

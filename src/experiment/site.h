@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/alarm_registry.h"
+#include "core/autoscaler.h"
 #include "core/load_estimator.h"
 #include "core/policy_factory.h"
 #include "geo/geo_model.h"
@@ -82,6 +83,34 @@ struct RunResult {
   /// Mean network round-trip per page (0 without a geo model).
   double mean_network_rtt_sec = 0.0;
 
+  // ---- Latency as a first-class result (extension; geo runs) ----
+  /// Mean rtt(domain, chosen server) per DNS decision — the scheduler-side
+  /// latency objective, independent of how many pages ride each mapping.
+  double mean_assignment_rtt_sec = 0.0;
+  /// Each server's share of the total assignment RTT mass: how much of the
+  /// latency bill each server is responsible for (empty without geo).
+  std::vector<double> rtt_weighted_assignment_share;
+  /// Per-domain client-perceived page response time (request flight +
+  /// queue + service + reply flight), summarized from per-domain
+  /// histograms kept by the client pool.
+  struct DomainLatency {
+    double p50_sec = 0.0;
+    double p95_sec = 0.0;
+    double p99_sec = 0.0;
+    double mean_sec = 0.0;
+    std::uint64_t pages = 0;
+  };
+  std::vector<DomainLatency> domain_latency;
+
+  // ---- Elastic pool accounting (0 / initial size when static) ----
+  /// DNS pool membership flips over the run (scripted + autoscaler).
+  std::uint64_t pool_changes = 0;
+  /// Autoscaler-initiated actions (subset of pool_changes).
+  std::uint64_t autoscale_ups = 0;
+  std::uint64_t autoscale_downs = 0;
+  /// Pool size when the run ended.
+  int final_pool_size = 0;
+
   /// Server-side redirection counters (0 unless enabled).
   std::uint64_t redirected_pages = 0;
   double redirected_fraction = 0.0;
@@ -145,6 +174,8 @@ class Site {
   fault::FaultInjector& fault_injector() { return *fault_injector_; }
   /// The pooled client population.
   workload::ClientPool& clients() { return *clients_; }
+  /// Null unless config.autoscale_enabled.
+  core::Autoscaler* autoscaler() { return autoscaler_.get(); }
 
   /// Null unless config.metrics_enabled / config.trace_enabled.
   obs::MetricsRegistry* metrics_registry() { return metrics_registry_.get(); }
@@ -164,6 +195,7 @@ class Site {
   std::unique_ptr<fault::FaultInjector> fault_injector_;
   std::unique_ptr<web::PageDispatcher> dispatcher_;
   std::unique_ptr<core::AlarmRegistry> alarms_;
+  std::unique_ptr<core::Autoscaler> autoscaler_;
   core::SchedulerBundle bundle_;
   std::unique_ptr<core::LoadEstimator> estimator_;
   std::vector<std::unique_ptr<dnscache::NameServer>> name_servers_;

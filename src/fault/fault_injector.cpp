@@ -54,6 +54,24 @@ void FaultInjector::schedule_events() {
               cluster_.server(s).set_capacity_factor(1.0);
             }));
   }
+  // Elastic pool events (extension). Scheduled after the fault kinds so a
+  // schedule without them keeps the historical event insertion order.
+  // Scale events only flip DNS pool membership — the server itself keeps
+  // draining, so no work is lost; resizes are open-ended capacity changes.
+  for (const ScaleEvent& e : schedule_.scale_events) {
+    sim_.at(e.start_sec, sim::assert_inline([this, s = e.server, up = e.up] {
+              ++events_fired_;
+              obs_events_.inc();
+              if (alarms_) alarms_->set_in_pool(s, up);
+            }));
+  }
+  for (const ResizeEvent& e : schedule_.resizes) {
+    sim_.at(e.start_sec, sim::assert_inline([this, s = e.server, f = e.factor] {
+              ++events_fired_;
+              obs_events_.inc();
+              cluster_.server(s).set_capacity_factor(f);
+            }));
+  }
   // Boundary markers for the (time-driven) DNS calendar: purely
   // observational, but scheduled unconditionally so fault runs count them
   // whether or not a tracer is attached later.

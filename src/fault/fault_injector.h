@@ -29,7 +29,11 @@ namespace adattl::fault {
 ///               can react);
 ///   pause    -> WebServer::set_paused (the legacy silent stall);
 ///   dns-outage -> exposed as a DnsOutageCalendar for the name servers
-///               (stale-serve + backoff) and traced at the boundaries.
+///               (stale-serve + backoff) and traced at the boundaries;
+///   scale-up/scale-down -> AlarmRegistry::set_in_pool (elastic DNS pool
+///               membership; a scaled-down server drains, losing nothing);
+///   resize   -> WebServer::set_capacity_factor, open-ended (re-provision
+///               rather than fault; persists until another resize).
 class FaultInjector {
  public:
   /// Validates `schedule` against the cluster size and schedules every

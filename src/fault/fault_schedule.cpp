@@ -114,6 +114,25 @@ DnsOutageWindow FaultSchedule::parse_dns_outage(const std::string& spec) {
   return w;
 }
 
+ScaleEvent FaultSchedule::parse_scale(const std::string& spec, bool up) {
+  const std::string what = up ? "scale-up" : "scale-down";
+  const std::vector<std::string> f = split_fields(what, spec, 2);
+  ScaleEvent e;
+  e.start_sec = parse_number(what + " start", f[0]);
+  e.server = parse_int(what + " server", f[1]);
+  e.up = up;
+  return e;
+}
+
+ResizeEvent FaultSchedule::parse_resize(const std::string& spec) {
+  const std::vector<std::string> f = split_fields("resize", spec, 3);
+  ResizeEvent e;
+  e.start_sec = parse_number("resize start", f[0]);
+  e.server = parse_int("resize server", f[1]);
+  e.factor = parse_number("resize factor", f[2]);
+  return e;
+}
+
 bool FaultSchedule::apply_directive(const std::string& key, const std::string& value) {
   if (key == "crash") {
     crashes.push_back(parse_crash(value));
@@ -123,6 +142,12 @@ bool FaultSchedule::apply_directive(const std::string& key, const std::string& v
     pauses.push_back(parse_pause(value));
   } else if (key == "dns-outage") {
     dns_outages.push_back(parse_dns_outage(value));
+  } else if (key == "scale-up") {
+    scale_events.push_back(parse_scale(value, true));
+  } else if (key == "scale-down") {
+    scale_events.push_back(parse_scale(value, false));
+  } else if (key == "resize") {
+    resizes.push_back(parse_resize(value));
   } else {
     return false;
   }
@@ -135,6 +160,8 @@ void FaultSchedule::merge(const FaultSchedule& other) {
                       other.degradations.end());
   pauses.insert(pauses.end(), other.pauses.begin(), other.pauses.end());
   dns_outages.insert(dns_outages.end(), other.dns_outages.begin(), other.dns_outages.end());
+  scale_events.insert(scale_events.end(), other.scale_events.begin(), other.scale_events.end());
+  resizes.insert(resizes.end(), other.resizes.begin(), other.resizes.end());
 }
 
 void FaultSchedule::validate(int num_servers) const {
@@ -155,6 +182,16 @@ void FaultSchedule::validate(int num_servers) const {
   }
   for (const DnsOutageWindow& w : dns_outages) {
     check_window("fault dns-outage", w.start_sec, w.duration_sec);
+  }
+  for (const ScaleEvent& e : scale_events) {
+    const std::string what = e.up ? "fault scale-up" : "fault scale-down";
+    if (e.start_sec < 0.0) throw std::invalid_argument(what + ": start must be >= 0");
+    check_server(what, e.server, num_servers);
+  }
+  for (const ResizeEvent& e : resizes) {
+    if (e.start_sec < 0.0) throw std::invalid_argument("fault resize: start must be >= 0");
+    check_server("fault resize", e.server, num_servers);
+    if (e.factor <= 0.0) throw std::invalid_argument("fault resize: factor must be > 0");
   }
 }
 
@@ -188,7 +225,8 @@ FaultSchedule parse_fault_text(const std::string& text) {
     if (!out.apply_directive(key, value)) {
       throw std::invalid_argument("fault file line " + std::to_string(line_no) +
                                   ": unknown directive '" + key +
-                                  "' (crash/degrade/pause/dns-outage)");
+                                  "' (crash/degrade/pause/dns-outage/scale-up/scale-down/"
+                                  "resize)");
     }
   }
   return out;

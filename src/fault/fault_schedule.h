@@ -44,6 +44,27 @@ struct DnsOutageWindow {
   double duration_sec = 0.0;
 };
 
+/// One elastic pool event (extension): at `start_sec` the server enters
+/// (`scale-up`) or leaves (`scale-down`) the DNS pool. Leaving is a drain,
+/// not a crash — the server finishes queued work and keeps serving pages
+/// from cached mappings, it just stops receiving new mappings. Point
+/// events, not windows: membership persists until the next event.
+struct ScaleEvent {
+  double start_sec = 0.0;
+  int server = 0;
+  bool up = true;
+};
+
+/// One open-ended capacity resize (extension): at `start_sec` server
+/// capacity is scaled to `factor` × nominal and stays there until another
+/// resize touches it. Unlike a degrade window, the change is permanent and
+/// *intended* — it models replacing or re-provisioning a box, not a fault.
+struct ResizeEvent {
+  double start_sec = 0.0;
+  int server = 0;
+  double factor = 1.0;
+};
+
 /// A deterministic, scenario-driven fault plan: every fault is a timed
 /// window fixed before the run starts, so replications stay reproducible
 /// and a fault-free schedule is bit-identical to no schedule at all.
@@ -56,17 +77,24 @@ struct DnsOutageWindow {
 ///   degrade    = START:DURATION:SERVER:FACTOR
 ///   pause      = START:DURATION:SERVER
 ///   dns-outage = START:DURATION
+///   scale-up   = START:SERVER
+///   scale-down = START:SERVER
+///   resize     = START:SERVER:FACTOR
 struct FaultSchedule {
   std::vector<CrashWindow> crashes;
   std::vector<DegradeWindow> degradations;
   std::vector<PauseWindow> pauses;
   std::vector<DnsOutageWindow> dns_outages;
+  std::vector<ScaleEvent> scale_events;
+  std::vector<ResizeEvent> resizes;
 
   bool empty() const {
-    return crashes.empty() && degradations.empty() && pauses.empty() && dns_outages.empty();
+    return crashes.empty() && degradations.empty() && pauses.empty() && dns_outages.empty() &&
+           scale_events.empty() && resizes.empty();
   }
   std::size_t size() const {
-    return crashes.size() + degradations.size() + pauses.size() + dns_outages.size();
+    return crashes.size() + degradations.size() + pauses.size() + dns_outages.size() +
+           scale_events.size() + resizes.size();
   }
 
   /// Validates every window (start >= 0, duration > 0, server within
@@ -87,6 +115,8 @@ struct FaultSchedule {
   static DegradeWindow parse_degrade(const std::string& spec);
   static PauseWindow parse_pause(const std::string& spec);
   static DnsOutageWindow parse_dns_outage(const std::string& spec);
+  static ScaleEvent parse_scale(const std::string& spec, bool up);
+  static ResizeEvent parse_resize(const std::string& spec);
 };
 
 /// Parses a fault file's text ("#" comments, blank lines, key = value

@@ -1,18 +1,24 @@
 #include "geo/geo_model.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace adattl::geo {
 
-GeoModel::GeoModel(std::vector<std::vector<double>> rtt_sec) : rtt_(std::move(rtt_sec)) {
-  if (rtt_.empty() || rtt_.front().empty()) {
+GeoModel::GeoModel(std::vector<std::vector<double>> rtt_sec) {
+  if (rtt_sec.empty() || rtt_sec.front().empty()) {
     throw std::invalid_argument("GeoModel: empty RTT matrix");
   }
-  const std::size_t servers = rtt_.front().size();
-  for (const auto& row : rtt_) {
+  const std::size_t servers = rtt_sec.front().size();
+  num_domains_ = static_cast<int>(rtt_sec.size());
+  num_servers_ = static_cast<int>(servers);
+  rtt_.reserve(rtt_sec.size() * servers);
+  for (const auto& row : rtt_sec) {
     if (row.size() != servers) throw std::invalid_argument("GeoModel: ragged RTT matrix");
     for (double r : row) {
       if (r < 0) throw std::invalid_argument("GeoModel: negative RTT");
+      max_rtt_ = std::max(max_rtt_, r);
+      rtt_.push_back(r);
     }
   }
 }
@@ -40,21 +46,33 @@ GeoModel GeoModel::regions(int num_domains, int num_servers, int num_regions,
 }
 
 std::vector<web::ServerId> GeoModel::nearest_servers(web::DomainId domain) const {
-  const auto& row = rtt_.at(static_cast<std::size_t>(domain));
-  double best = row.front();
-  for (double r : row) best = std::min(best, r);
+  if (domain < 0 || domain >= num_domains_) {
+    throw std::out_of_range("GeoModel::nearest_servers: unknown domain");
+  }
+  const std::size_t base =
+      static_cast<std::size_t>(domain) * static_cast<std::size_t>(num_servers_);
+  double best = rtt_[base];
+  for (int s = 1; s < num_servers_; ++s) {
+    best = std::min(best, rtt_[base + static_cast<std::size_t>(s)]);
+  }
   std::vector<web::ServerId> out;
-  for (std::size_t s = 0; s < row.size(); ++s) {
-    if (row[s] == best) out.push_back(static_cast<web::ServerId>(s));
+  for (int s = 0; s < num_servers_; ++s) {
+    if (rtt_[base + static_cast<std::size_t>(s)] == best) {
+      out.push_back(static_cast<web::ServerId>(s));
+    }
   }
   return out;
 }
 
 double GeoModel::mean_rtt(web::DomainId domain) const {
-  const auto& row = rtt_.at(static_cast<std::size_t>(domain));
+  if (domain < 0 || domain >= num_domains_) {
+    throw std::out_of_range("GeoModel::mean_rtt: unknown domain");
+  }
+  const std::size_t base =
+      static_cast<std::size_t>(domain) * static_cast<std::size_t>(num_servers_);
   double sum = 0.0;
-  for (double r : row) sum += r;
-  return sum / static_cast<double>(row.size());
+  for (int s = 0; s < num_servers_; ++s) sum += rtt_[base + static_cast<std::size_t>(s)];
+  return sum / static_cast<double>(num_servers_);
 }
 
 }  // namespace adattl::geo

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cassert>
 #include <vector>
 
 #include "web/types.h"
@@ -15,6 +16,11 @@ namespace adattl::geo {
 /// builder assigns domains and servers to `R` regions round-robin and
 /// uses two RTT levels (intra-/inter-region); arbitrary matrices can be
 /// supplied directly for irregular topologies.
+///
+/// Storage is a flat row-major vector: `rtt()` sits on the per-request
+/// dispatch path (ClientPool charges both flight legs of every page) and
+/// on every COST-family select(), so it must be one multiply-add and one
+/// load — bounds are validated at construction, asserted in debug builds.
 class GeoModel {
  public:
   /// Explicit matrix: rtt_sec[domain][server], all entries >= 0.
@@ -28,15 +34,19 @@ class GeoModel {
   static GeoModel regions(int num_domains, int num_servers, int num_regions,
                           double intra_rtt_sec, double inter_rtt_sec);
 
-  int num_domains() const { return static_cast<int>(rtt_.size()); }
-  int num_servers() const {
-    return rtt_.empty() ? 0 : static_cast<int>(rtt_.front().size());
-  }
+  int num_domains() const { return num_domains_; }
+  int num_servers() const { return num_servers_; }
 
   /// Round-trip time between a client of `domain` and `server`.
   double rtt(web::DomainId domain, web::ServerId server) const {
-    return rtt_.at(static_cast<std::size_t>(domain)).at(static_cast<std::size_t>(server));
+    assert(domain >= 0 && domain < num_domains_ && "GeoModel::rtt: domain out of range");
+    assert(server >= 0 && server < num_servers_ && "GeoModel::rtt: server out of range");
+    return rtt_[static_cast<std::size_t>(domain) * static_cast<std::size_t>(num_servers_) +
+                static_cast<std::size_t>(server)];
   }
+
+  /// Largest RTT in the matrix — the normalizer for composite objectives.
+  double max_rtt() const { return max_rtt_; }
 
   /// Servers of minimal RTT for a domain (the domain's "local" servers).
   std::vector<web::ServerId> nearest_servers(web::DomainId domain) const;
@@ -45,7 +55,10 @@ class GeoModel {
   double mean_rtt(web::DomainId domain) const;
 
  private:
-  std::vector<std::vector<double>> rtt_;
+  int num_domains_ = 0;
+  int num_servers_ = 0;
+  double max_rtt_ = 0.0;
+  std::vector<double> rtt_;  // row-major [domain * num_servers_ + server]
 };
 
 }  // namespace adattl::geo

@@ -70,6 +70,10 @@ ClientPool::ClientPool(sim::Simulator& sim, web::PageDispatcher& dispatcher,
   if (retry_delay_sec <= 0.0) {
     throw std::invalid_argument("Client: retry delay must be > 0");
   }
+  domain_response_.reserve(static_cast<std::size_t>(think_.num_domains()));
+  for (int d = 0; d < think_.num_domains(); ++d) {
+    domain_response_.emplace_back(30.0, 600);
+  }
 }
 
 std::size_t ClientPool::add(dnscache::Resolver& resolver, sim::RngStream rng) {
@@ -139,6 +143,7 @@ void ClientPool::arrive(std::uint32_t i) {
     c.count_page_on_arrive = false;
     ++c.pages;
   }
+  c.page_start = sim_.now();
   dispatcher_.dispatch(c.mapped_server,
                        web::PageRequest{c.resolver->domain(), c.pending_hits,
                                         [this, i] { on_server_complete(i); },
@@ -148,6 +153,11 @@ void ClientPool::arrive(std::uint32_t i) {
 void ClientPool::on_server_complete(std::uint32_t i) {
   Rec& c = recs_[i];
   if (c.page_rtt > 0.0) c.network_time += c.page_rtt / 2.0;  // the reply leg home
+  // Client-perceived response: request flight + server time + reply
+  // flight. page_start is the server-arrival instant, so both legs are
+  // added back.
+  domain_response_[static_cast<std::size_t>(c.resolver->domain())].add(
+      (sim_.now() - c.page_start) + c.page_rtt);
   const double think = think_.sample(c.resolver->domain(), c.rng);
   if (c.pages_left > 0) {
     // Coalesce reply flight + think + next request flight into one event:

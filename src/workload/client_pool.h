@@ -7,6 +7,7 @@
 #include "geo/geo_model.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
+#include "sim/stats.h"
 #include "web/dispatcher.h"
 #include "workload/think_time_model.h"
 
@@ -121,6 +122,14 @@ class ClientPool {
   };
   Totals totals() const;
 
+  /// Client-perceived page response time distribution of domain `d`:
+  /// request flight + queue + service + reply flight, recorded per
+  /// completed page (a failed attempt records nothing — only the attempt
+  /// that finally succeeds is measured, from its own dispatch).
+  const sim::Histogram& domain_response_histogram(int d) const {
+    return domain_response_.at(static_cast<std::size_t>(d));
+  }
+
  private:
   /// One client. Kept POD-ish and compact: the pool's contiguous vector of
   /// these IS the client population's entire state.
@@ -133,6 +142,10 @@ class ClientPool {
     /// RTT of the page in flight, looked up once per dispatch and reused
     /// for the reply leg — the mapping is fixed for the page's lifetime.
     double page_rtt = 0.0;
+    /// Server-arrival instant of the page in flight; with the request leg
+    /// prepended and the reply leg appended this yields the client-
+    /// perceived response time recorded at completion.
+    double page_start = 0.0;
     std::uint64_t sessions = 0;
     std::uint64_t pages = 0;
     std::uint64_t pages_failed = 0;
@@ -162,6 +175,9 @@ class ClientPool {
   const geo::GeoModel* geo_;
   double retry_delay_sec_;
   std::vector<Rec> recs_;
+  /// One histogram per domain; purely observational (never read by any
+  /// event handler), so recording cannot perturb the event sequence.
+  std::vector<sim::Histogram> domain_response_;
 };
 
 }  // namespace adattl::workload

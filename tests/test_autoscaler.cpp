@@ -1,0 +1,174 @@
+// Watermark autoscaler + the AlarmRegistry's elastic pool-membership
+// semantics it drives.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/alarm_registry.h"
+#include "core/autoscaler.h"
+
+namespace adattl::core {
+namespace {
+
+Autoscaler::Config fast_config() {
+  Autoscaler::Config c;
+  c.high_watermark = 0.75;
+  c.low_watermark = 0.30;
+  c.hysteresis_ticks = 2;
+  c.min_servers = 1;
+  return c;
+}
+
+TEST(AlarmRegistryPool, MembershipFlipsUpdateEligibilityAndCounters) {
+  AlarmRegistry alarms(3, 0.9);
+  EXPECT_EQ(alarms.pool_size(), 3);
+  EXPECT_EQ(alarms.pool_changes(), 0u);
+
+  alarms.set_in_pool(1, false);
+  EXPECT_FALSE(alarms.in_pool(1));
+  EXPECT_EQ(alarms.pool_size(), 2);
+  EXPECT_EQ(alarms.pool_changes(), 1u);
+  EXPECT_FALSE(alarms.eligible()[1]);
+  EXPECT_TRUE(alarms.eligible()[0]);
+
+  // Re-asserting the current state is a no-op, not a flip.
+  alarms.set_in_pool(1, false);
+  EXPECT_EQ(alarms.pool_changes(), 1u);
+
+  alarms.set_in_pool(1, true);
+  EXPECT_EQ(alarms.pool_size(), 3);
+  EXPECT_EQ(alarms.pool_changes(), 2u);
+  EXPECT_TRUE(alarms.eligible()[1]);
+}
+
+TEST(AlarmRegistryPool, EligibilityWidensAlongTheLadder) {
+  AlarmRegistry alarms(2, 0.5);
+  alarms.set_in_pool(1, false);
+  // The only in-pool server crosses the alarm threshold. The ladder stays
+  // inside the pool first (the alarm is a soft hint; membership is an
+  // operator decision), so the alarmed in-pool server still answers and
+  // the parked server stays out.
+  alarms.observe(8.0, {0.9, 0.0});
+  EXPECT_TRUE(alarms.is_alarmed(0));
+  EXPECT_TRUE(alarms.eligible()[0]);
+  EXPECT_FALSE(alarms.eligible()[1]);
+  // Only when the in-pool server is *down* does eligibility leave the
+  // pool — the DNS must answer with something that can serve.
+  alarms.set_down(0, true);
+  EXPECT_FALSE(alarms.eligible()[0]);
+  EXPECT_TRUE(alarms.eligible()[1]);
+}
+
+TEST(AlarmRegistryPool, FeedbackSnapshotSurvivesDisabledSignalling) {
+  AlarmRegistry alarms(2, 0.9, /*enabled=*/false);
+  EXPECT_EQ(alarms.feedback_generation(), 0u);
+  alarms.observe_full(8.0, {0.4, 0.6}, {3, 1});
+  // Signalling is off (no alarms ever) but the COST family and the
+  // autoscaler still need the observation.
+  EXPECT_EQ(alarms.feedback_generation(), 1u);
+  EXPECT_DOUBLE_EQ(alarms.last_utilization()[1], 0.6);
+  EXPECT_EQ(alarms.last_queue_depth()[0], 3u);
+  EXPECT_EQ(alarms.alarm_signals(), 0u);
+}
+
+TEST(Autoscaler, ScalesDownAfterSustainedLowUtilization) {
+  AlarmRegistry alarms(3, 0.9);
+  Autoscaler scaler(alarms, fast_config());
+
+  scaler.observe({0.1, 0.1, 0.1});
+  EXPECT_EQ(alarms.pool_size(), 3);  // one low tick: hysteresis holds
+  scaler.observe({0.1, 0.1, 0.1});
+  EXPECT_EQ(alarms.pool_size(), 2);  // second: park the highest index
+  EXPECT_FALSE(alarms.in_pool(2));
+  EXPECT_EQ(scaler.scale_down_actions(), 1u);
+}
+
+TEST(Autoscaler, ScalesUpAfterSustainedHighUtilization) {
+  AlarmRegistry alarms(3, 0.95);
+  Autoscaler scaler(alarms, fast_config());
+  alarms.set_in_pool(2, false);
+
+  scaler.observe({0.9, 0.9, 0.0});
+  scaler.observe({0.9, 0.9, 0.0});
+  EXPECT_TRUE(alarms.in_pool(2));  // lowest-index parked server re-admitted
+  EXPECT_EQ(scaler.scale_up_actions(), 1u);
+}
+
+TEST(Autoscaler, MeanIsOverInPoolServersOnly) {
+  AlarmRegistry alarms(3, 0.95);
+  Autoscaler scaler(alarms, fast_config());
+  alarms.set_in_pool(2, false);
+
+  // In-pool mean is (0.9 + 0.9)/2 = 0.9 > high even though the site-wide
+  // mean including the parked idle server would be 0.6 < high.
+  scaler.observe({0.9, 0.9, 0.0});
+  scaler.observe({0.9, 0.9, 0.0});
+  EXPECT_EQ(scaler.scale_up_actions(), 1u);
+}
+
+TEST(Autoscaler, DeadBandResetsTheHysteresisCounters) {
+  AlarmRegistry alarms(3, 0.9);
+  Autoscaler scaler(alarms, fast_config());
+
+  scaler.observe({0.1, 0.1, 0.1});
+  scaler.observe({0.5, 0.5, 0.5});  // back in band: counter resets
+  scaler.observe({0.1, 0.1, 0.1});
+  EXPECT_EQ(alarms.pool_size(), 3);  // never two consecutive low ticks
+  EXPECT_EQ(scaler.scale_down_actions(), 0u);
+}
+
+TEST(Autoscaler, NeverShrinksBelowMinServers) {
+  AlarmRegistry alarms(2, 0.9);
+  Autoscaler::Config cfg = fast_config();
+  cfg.min_servers = 2;
+  Autoscaler scaler(alarms, cfg);
+
+  for (int i = 0; i < 10; ++i) scaler.observe({0.0, 0.0});
+  EXPECT_EQ(alarms.pool_size(), 2);
+  EXPECT_EQ(scaler.scale_down_actions(), 0u);
+}
+
+TEST(Autoscaler, DoesNotReadmitCrashedServers) {
+  AlarmRegistry alarms(3, 0.95);
+  Autoscaler scaler(alarms, fast_config());
+  alarms.set_in_pool(1, false);
+  alarms.set_in_pool(2, false);
+  alarms.set_down(1, true);  // parked AND crashed: not a candidate
+
+  scaler.observe({0.9, 0.0, 0.0});
+  scaler.observe({0.9, 0.0, 0.0});
+  EXPECT_FALSE(alarms.in_pool(1));
+  EXPECT_TRUE(alarms.in_pool(2));  // next healthy parked server instead
+}
+
+TEST(Autoscaler, OneActionPerHysteresisWindow) {
+  AlarmRegistry alarms(4, 0.9);
+  Autoscaler scaler(alarms, fast_config());
+
+  for (int i = 0; i < 4; ++i) scaler.observe({0.05, 0.05, 0.05, 0.05});
+  // Ticks 2 and 4 fire (counter resets after each action): two servers
+  // parked, not three.
+  EXPECT_EQ(scaler.scale_down_actions(), 2u);
+  EXPECT_EQ(alarms.pool_size(), 2);
+}
+
+TEST(Autoscaler, RejectsBadConfigs) {
+  AlarmRegistry alarms(2, 0.9);
+  Autoscaler::Config bad = fast_config();
+  bad.low_watermark = 0.8;  // low >= high
+  EXPECT_THROW(Autoscaler(alarms, bad), std::invalid_argument);
+  bad = fast_config();
+  bad.hysteresis_ticks = 0;
+  EXPECT_THROW(Autoscaler(alarms, bad), std::invalid_argument);
+  bad = fast_config();
+  bad.min_servers = 0;
+  EXPECT_THROW(Autoscaler(alarms, bad), std::invalid_argument);
+  bad = fast_config();
+  bad.high_watermark = 1.5;
+  EXPECT_THROW(Autoscaler(alarms, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adattl::core

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/policy_factory.h"
 #include "sim/random.h"
 
@@ -249,6 +251,51 @@ TEST(DnsGolden, AResponseWireImage) {
   EXPECT_EQ(ttl, 43u);
 }
 
+TEST(DnsGolden, AaaaResponseWireImage) {
+  Header qh;
+  qh.id = 0x1234;
+  qh.rd = true;
+  const Question q{"www.site.org", kTypeAaaa, kClassIn};
+  const std::vector<std::uint8_t> golden = {
+      0x12, 0x34,              // id echoed
+      0x85, 0x00,              // QR=1 AA=1 RD=1 RA=0 rcode=0
+      0x00, 0x01,              // qdcount: question echoed
+      0x00, 0x01,              // ancount
+      0x00, 0x00, 0x00, 0x00,  // nscount, arcount
+      3,    'w',  'w',  'w',  4, 's', 'i', 't', 'e', 3, 'o', 'r', 'g', 0,
+      0x00, 0x1c, 0x00, 0x01,  // question qtype AAAA / qclass IN
+      0xc0, 0x0c,              // answer owner: pointer to offset 12
+      0x00, 0x1c,              // type AAAA
+      0x00, 0x01,              // class IN
+      0x00, 0x00, 0x00, 0x2b,  // ttl 43
+      0x00, 0x10,              // rdlength 16
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0xff, 0xff, 0x0a, 0x00, 0x00, 0x01,  // ::ffff:10.0.0.1
+  };
+  EXPECT_EQ(encode_aaaa_response(qh, q, v4_mapped_ipv6(0x0A000001), 43), golden);
+
+  Header rh;
+  Ipv6 addr{};
+  std::uint32_t ttl = 0;
+  ASSERT_TRUE(decode_aaaa_response(golden, &rh, &addr, &ttl));
+  EXPECT_EQ(addr, v4_mapped_ipv6(0x0A000001));
+  EXPECT_EQ(ttl, 43u);
+  // The record families do not decode as each other.
+  std::uint32_t ip = 0;
+  EXPECT_FALSE(decode_a_response(golden, &rh, &ip, &ttl));
+}
+
+TEST(DnsMessage, V4MappedIpv6Layout) {
+  const Ipv6 m = v4_mapped_ipv6(0xC0A80164);  // 192.168.1.100
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(m[static_cast<std::size_t>(i)], 0) << i;
+  EXPECT_EQ(m[10], 0xff);
+  EXPECT_EQ(m[11], 0xff);
+  EXPECT_EQ(m[12], 192);
+  EXPECT_EQ(m[13], 168);
+  EXPECT_EQ(m[14], 1);
+  EXPECT_EQ(m[15], 100);
+}
+
 TEST(DnsMessage, DecodeQueryRejectsGarbage) {
   Header h;
   Question q;
@@ -380,14 +427,55 @@ TEST(DnsFrontendTest, ForeignNameGetsNxDomainWithoutSchedulingCost) {
   EXPECT_EQ(rig.frontend->refused(), 1u);
 }
 
-TEST(DnsFrontendTest, NonAQueriesGetNotImp) {
+TEST(DnsFrontendTest, NonAddressQueriesGetNotImp) {
   FrontendRig rig;
   const std::vector<std::uint8_t> r =
-      rig.frontend->handle(encode_query(4, "www.site.org", /*qtype=*/28), 0);  // AAAA
+      rig.frontend->handle(encode_query(4, "www.site.org", /*qtype=*/15), 0);  // MX
   Header h;
   std::uint32_t ip = 0, ttl = 0;
   ASSERT_TRUE(decode_a_response(r, &h, &ip, &ttl));
   EXPECT_EQ(h.rcode, kRcodeNotImp);
+}
+
+TEST(DnsFrontendTest, AaaaQueriesGetV4MappedAnswers) {
+  FrontendRig rig;
+  const std::vector<std::uint8_t> r =
+      rig.frontend->handle(encode_query(5, "www.site.org", kTypeAaaa), 0);
+  Header h;
+  Ipv6 addr{};
+  std::uint32_t ttl = 0;
+  ASSERT_TRUE(decode_aaaa_response(r, &h, &addr, &ttl));
+  EXPECT_EQ(h.rcode, kRcodeNoError);
+  EXPECT_GE(ttl, 1u);
+  const std::vector<std::uint32_t> known{0x0A000001, 0x0A000002, 0x0A000003};
+  const bool real = std::any_of(known.begin(), known.end(), [&](std::uint32_t v4) {
+    return v4_mapped_ipv6(v4) == addr;
+  });
+  EXPECT_TRUE(real);
+  EXPECT_EQ(rig.frontend->answered(), 1u);  // AAAA consumes a real decision
+}
+
+TEST(DnsFrontendTest, ExplicitIpv6AddressesWinOverMapping) {
+  FrontendRig rig;
+  Ipv6 native{};
+  native[0] = 0x20;
+  native[1] = 0x01;  // 2001::1
+  native[15] = 0x01;
+  DnsFrontend v6_frontend(*rig.bundle.scheduler, "www.site.org",
+                          std::vector<std::uint32_t>{0x0A000001},
+                          std::vector<Ipv6>{native});
+  const std::vector<std::uint8_t> r =
+      v6_frontend.handle(encode_query(6, "www.site.org", kTypeAaaa), 0);
+  Header h;
+  Ipv6 addr{};
+  std::uint32_t ttl = 0;
+  ASSERT_TRUE(decode_aaaa_response(r, &h, &addr, &ttl));
+  EXPECT_EQ(addr, native);
+
+  EXPECT_THROW(DnsFrontend(*rig.bundle.scheduler, "www.site.org",
+                           std::vector<std::uint32_t>{1, 2},
+                           std::vector<Ipv6>{native}),
+               std::invalid_argument);
 }
 
 TEST(DnsFrontendTest, MalformedQueryGetsFormErrOrDrop) {

@@ -217,6 +217,58 @@ TEST(DegradeIntegration, HalvedCapacityRaisesUtilizationOrResponse) {
   EXPECT_EQ(hit.failed_requests, 0u);  // degraded, not failed
 }
 
+// --- Elastic pool events ---------------------------------------------------
+
+experiment::SimulationConfig elastic_config() {
+  experiment::SimulationConfig cfg;
+  cfg.cluster = web::table2_cluster(20);
+  cfg.policy = "DRR2-TTL/S_K";
+  cfg.warmup_sec = 100.0;
+  cfg.duration_sec = 2000.0;
+  cfg.seed = 77;
+  // Server 2 parked from t = 600 s, re-admitted at t = 1500 s.
+  cfg.faults.scale_events.push_back({600.0, 2, false});
+  cfg.faults.scale_events.push_back({1500.0, 2, true});
+  return cfg;
+}
+
+TEST(ElasticIntegration, ScaleDownDrainsWithoutLosingAnything) {
+  experiment::Site site(elastic_config());
+  std::uint64_t parked_start = 0, parked_end = 0;
+  site.simulator().at(650.0, [&] { parked_start = site.scheduler().assignments()[2]; });
+  site.simulator().at(1499.0, [&] { parked_end = site.scheduler().assignments()[2]; });
+  const experiment::RunResult r = site.run();
+  // Not one new mapping while parked — but unlike a crash the server
+  // stays up, drains its queue, and keeps serving cached mappings, so
+  // clients never notice: conservation is exact.
+  EXPECT_EQ(parked_start, parked_end);
+  EXPECT_GT(site.scheduler().assignments()[2], parked_end);  // re-admitted
+  EXPECT_EQ(r.failed_requests, 0u);
+  EXPECT_EQ(r.lost_pages, 0u);
+  EXPECT_EQ(r.lost_hits, 0u);
+  EXPECT_EQ(r.pool_changes, 2u);
+  EXPECT_EQ(r.autoscale_ups, 0u);  // scripted, not autoscaler-initiated
+  EXPECT_EQ(r.final_pool_size, site.cluster().size());
+  EXPECT_GT(site.cluster().server(2).pages_served(), 0u);
+}
+
+TEST(ElasticIntegration, ResizeShrinksCapacityForGood) {
+  experiment::SimulationConfig cfg;
+  cfg.cluster = web::table2_cluster(20);
+  cfg.policy = "DRR2-TTL/S_K";
+  cfg.warmup_sec = 100.0;
+  cfg.duration_sec = 1500.0;
+  cfg.seed = 99;
+  experiment::SimulationConfig shrunk = cfg;
+  // Unlike a degrade window, a resize has no end: server 0 stays at 40%.
+  shrunk.faults.resizes.push_back({300.0, 0, 0.4});
+  const experiment::RunResult base = experiment::Site(cfg).run();
+  const experiment::RunResult hit = experiment::Site(shrunk).run();
+  EXPECT_GT(hit.mean_page_response_sec, base.mean_page_response_sec);
+  EXPECT_EQ(hit.failed_requests, 0u);  // slower, never lost
+  EXPECT_EQ(hit.lost_pages, 0u);
+}
+
 TEST(ChaosIntegration, CrashPlusDnsOutageEndToEnd) {
   experiment::SimulationConfig cfg = crash_config();
   cfg.faults.dns_outages.push_back({700.0, 120.0});

@@ -44,6 +44,60 @@ TEST(FaultSpecParsers, PauseAndDnsOutageSpecs) {
   EXPECT_THROW(FaultSchedule::parse_dns_outage("1000:120:5"), std::invalid_argument);
 }
 
+TEST(FaultSpecParsers, ScaleAndResizeSpecs) {
+  const ScaleEvent up = FaultSchedule::parse_scale("500:2", true);
+  EXPECT_DOUBLE_EQ(up.start_sec, 500.0);
+  EXPECT_EQ(up.server, 2);
+  EXPECT_TRUE(up.up);
+  const ScaleEvent down = FaultSchedule::parse_scale("700:3", false);
+  EXPECT_EQ(down.server, 3);
+  EXPECT_FALSE(down.up);
+  EXPECT_THROW(FaultSchedule::parse_scale("500", true), std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse_scale("500:2:1", true), std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse_scale("x:2", true), std::invalid_argument);
+
+  const ResizeEvent r = FaultSchedule::parse_resize("800:1:1.5");
+  EXPECT_DOUBLE_EQ(r.start_sec, 800.0);
+  EXPECT_EQ(r.server, 1);
+  EXPECT_DOUBLE_EQ(r.factor, 1.5);
+  EXPECT_THROW(FaultSchedule::parse_resize("800:1"), std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse_resize("800:1:1.5:2"), std::invalid_argument);
+}
+
+TEST(FaultText, ParsesElasticDirectives) {
+  const FaultSchedule s = parse_fault_text(
+      "scale-down = 700:3\n"
+      "scale-up   = 900:3\n"
+      "resize     = 800:1:0.5\n");
+  ASSERT_EQ(s.scale_events.size(), 2u);
+  EXPECT_FALSE(s.scale_events[0].up);
+  EXPECT_TRUE(s.scale_events[1].up);
+  ASSERT_EQ(s.resizes.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.resizes[0].factor, 0.5);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_FALSE(s.empty());
+}
+
+TEST(FaultSchedule, ValidatesElasticEvents) {
+  FaultSchedule scale;
+  scale.scale_events.push_back({500.0, 2, false});
+  EXPECT_NO_THROW(scale.validate(7));
+  EXPECT_THROW(scale.validate(2), std::invalid_argument);  // server out of range
+
+  FaultSchedule past;
+  past.scale_events.push_back({-1.0, 0, true});
+  EXPECT_THROW(past.validate(7), std::invalid_argument);
+
+  FaultSchedule bad_resize;
+  bad_resize.resizes.push_back({10.0, 0, 0.0});
+  EXPECT_THROW(bad_resize.validate(7), std::invalid_argument);
+
+  FaultSchedule merged = parse_fault_text("scale-down = 1:0\n");
+  merged.merge(parse_fault_text("resize = 2:1:2.0\nscale-up = 3:0\n"));
+  EXPECT_EQ(merged.scale_events.size(), 2u);
+  EXPECT_EQ(merged.resizes.size(), 1u);
+}
+
 TEST(FaultText, ParsesDirectivesCommentsAndBlanks) {
   const FaultSchedule s = parse_fault_text(
       "# chaos plan\n"

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/cost_policy.h"
+#include "core/decision_context.h"
 #include "core/policy_factory.h"
 #include "core/proximity_policy.h"
 #include "experiment/cli.h"
@@ -34,6 +36,66 @@ TEST(GeoModel, SingleRegionIsFlat) {
     for (int s = 0; s < 5; ++s) EXPECT_DOUBLE_EQ(g.rtt(d, s), 0.02);
     EXPECT_EQ(g.nearest_servers(d).size(), 5u);
   }
+}
+
+TEST(GeoModel, MoreRegionsThanServersLeavesRemoteOnlyDomains) {
+  // 4 regions but only 2 servers: servers land in regions 0 and 1, so
+  // domains in regions 2 and 3 have no local replica at all.
+  const geo::GeoModel g = geo::GeoModel::regions(6, 2, 4, 0.02, 0.15);
+  EXPECT_DOUBLE_EQ(g.rtt(0, 0), 0.02);   // region 0 has server 0
+  EXPECT_DOUBLE_EQ(g.rtt(2, 0), 0.15);   // region 2: everything is remote
+  EXPECT_DOUBLE_EQ(g.rtt(2, 1), 0.15);
+  // A remote-only domain ties on every server: the nearest set is the
+  // whole cluster, in ascending index order.
+  EXPECT_EQ(g.nearest_servers(2), (std::vector<int>{0, 1}));
+  EXPECT_EQ(g.nearest_servers(0), (std::vector<int>{0}));
+  EXPECT_DOUBLE_EQ(g.max_rtt(), 0.15);
+}
+
+TEST(GeoModel, NearestServersTieBreakIsDeterministic) {
+  // Ties are enumerated lowest-index-first and the result is a pure
+  // function of the matrix — repeated calls must agree exactly.
+  const geo::GeoModel g({{0.05, 0.01, 0.01, 0.05, 0.01}});
+  const std::vector<int> first = g.nearest_servers(0);
+  EXPECT_EQ(first, (std::vector<int>{1, 2, 4}));
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(g.nearest_servers(0), first);
+  EXPECT_THROW(g.nearest_servers(1), std::out_of_range);
+  EXPECT_THROW(g.nearest_servers(-1), std::out_of_range);
+}
+
+TEST(GeoModel, SingleServerTopology) {
+  const geo::GeoModel g({{0.07}, {0.11}});
+  EXPECT_EQ(g.num_servers(), 1);
+  EXPECT_EQ(g.nearest_servers(1), (std::vector<int>{0}));
+  EXPECT_DOUBLE_EQ(g.mean_rtt(1), 0.11);
+  EXPECT_DOUBLE_EQ(g.max_rtt(), 0.11);
+
+  auto shared = std::make_shared<const geo::GeoModel>(g);
+  core::ProximityPolicy p(shared, {100.0});
+  const std::vector<bool> one(1, true);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(p.select(0, one), 0);
+}
+
+TEST(GeoModel, ZeroRttTopologyIsDegenerateButWellDefined) {
+  // All-zero matrices are legal (co-located everything). max_rtt() == 0
+  // is the COST normalizer's divide-by-zero guard case: norm_rtt becomes
+  // 0 for every server and the composite collapses to pure load.
+  const geo::GeoModel g({{0.0, 0.0}, {0.0, 0.0}});
+  EXPECT_DOUBLE_EQ(g.max_rtt(), 0.0);
+  EXPECT_DOUBLE_EQ(g.mean_rtt(0), 0.0);
+  EXPECT_EQ(g.nearest_servers(0), (std::vector<int>{0, 1}));
+
+  core::CompositeCostPolicy cost({100.0, 100.0}, /*alpha=*/0.25);
+  const std::vector<bool> eligible(2, true);
+  const std::vector<double> util{0.9, 0.1};
+  core::DecisionContext ctx;
+  ctx.domain = 0;
+  ctx.eligible = &eligible;
+  ctx.utilization = &util;
+  ctx.geo = &g;
+  ctx.feedback_generation = 1;
+  // With geography flat, the less-utilized server must win outright.
+  EXPECT_EQ(cost.select(ctx), 1);
 }
 
 TEST(GeoModel, ExplicitMatrixAndValidation) {

@@ -135,6 +135,14 @@ const std::map<std::string, std::string>& sample_values() {
       {"degrade", "900:60:1:0.5"},
       {"pause", "100:50:3"},
       {"dns-outage", "1000:120"},
+      {"scale-up", "500:2"},
+      {"scale-down", "700:3"},
+      {"resize", "800:1:1.5"},
+      {"autoscale", "true"},
+      {"autoscale-high", "0.8"},
+      {"autoscale-low", "0.25"},
+      {"autoscale-ticks", "2"},
+      {"autoscale-min", "2"},
       {"retry-delay", "2.5"},
       {"ns-retry-backoff", "0.5"},
       {"ns-retry-max-backoff", "32"},

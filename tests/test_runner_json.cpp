@@ -80,12 +80,19 @@ TEST(RunnerJson, SchemaKeySetIsStable) {
       "mean_response_sec",
       "response_p99_sec",
       "mean_network_rtt_sec",
+      "mean_assignment_rtt_sec",
+      "pool_changes",
+      "autoscale_ups",
+      "autoscale_downs",
+      "final_pool_size",
       "failed_requests",
       "lost_pages",
       "lost_hits",
       "dns_outage_sec",
       "unavailability_fraction",
       "mean_server_utilization",
+      "rtt_weighted_assignment_share",
+      "domain_latency",
       "config",
       "provenance",
   };

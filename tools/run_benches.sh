@@ -120,6 +120,48 @@ with open(out_path, "w") as f:
 print(f"wrote {out_path}")
 PY
 
+# ---- Geography + elasticity: the COST(alpha) frontier ----
+# micro_geo emits its own JSON (like micro_estimator): the flat-vs-checked
+# GeoModel::rtt lookup timing, the utilization-vs-mean-assignment-RTT
+# frontier for GEO / RR2 / COST(alpha), and a watermark-autoscaler run
+# checked for conservation. Exits nonzero — and this script fails — if no
+# COST alpha dominates pure GEO on peak utilization while dominating pure
+# RR2 on assignment RTT, or if the elastic run loses work.
+GEO_OUT="$(dirname "${OUT}")/BENCH_geo.json"
+geo_bin="${BUILD_DIR}/bench/micro_geo"
+if [[ ! -x "${geo_bin}" ]]; then
+  echo "error: ${geo_bin} not built (cmake --build ${BUILD_DIR} --target micro_geo)" >&2
+  exit 1
+fi
+echo "running ${geo_bin} ..." >&2
+"${geo_bin}" > "${GEO_OUT%.json}.raw.micro_geo.json"
+
+python3 - "${GEO_OUT}" "${GEO_OUT%.json}.raw.micro_geo.json" <<'PY'
+import datetime, json, os, socket, sys
+
+out_path, raw_path = sys.argv[1:]
+with open(raw_path) as f:
+    dump = json.load(f)
+
+dump["context"].update({
+    "date": datetime.datetime.now().astimezone().isoformat(timespec="seconds"),
+    "host_name": socket.gethostname(),
+    "num_cpus": os.cpu_count(),
+    "build_type": os.environ.get("BENCH_BUILD_TYPE", "unspecified"),
+})
+s = dump["summary"]
+if not s["cost_dominates_geo_and_rr2"]:
+    sys.exit("geo ablation regressed: no COST alpha dominates GEO on peak "
+             "utilization and RR2 on assignment RTT")
+if not (s["autoscale_conserves_work"] and s["autoscale_pool_moved"]):
+    sys.exit("elastic run regressed: autoscaler lost work or never moved the pool")
+
+with open(out_path, "w") as f:
+    json.dump(dump, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path}")
+PY
+
 # ---- Population scale: events/sec from 5k to 1M clients ----
 # BENCH_scale.json: the items/sec-per-client-count table for the sharded
 # scale sweep plus the headline million-client multi-hour-day run. The
